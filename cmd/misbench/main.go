@@ -1,0 +1,82 @@
+// Command misbench regenerates the paper's experimental tables and figures
+// on synthetic stand-in workloads (see DESIGN.md §4 and §5), plus this
+// reproduction's own ablations.
+//
+// Usage:
+//
+//	misbench -run all                       # every table, figure and ablation
+//	misbench -run table5,table6            # a subset
+//	misbench -run fig8 -sweep-n 200000     # bigger β-sweep graphs
+//	misbench -scale 500 -workdir ./graphs  # bigger dataset stand-ins, kept on disk
+//
+// Experiment IDs: table2 fig6 table4 table5 table6 table7 table8 table9
+// fig5 fig8 fig9 fig10 ablation-io ablation-earlystop ablation-sort
+// ablation-pq.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("misbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale   = fs.Int("scale", 1000, "divide the paper's dataset sizes by this factor")
+		sweepN  = fs.Int("sweep-n", 50000, "vertices for the β-sweep graphs (paper: 10M)")
+		trials  = fs.Int("trials", 3, "random graphs averaged per β (paper: 10)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workdir = fs.String("workdir", "", "directory for generated graphs (default: temp)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := &bench.Config{
+		WorkDir:       *workdir,
+		DatasetScale:  *scale,
+		SweepVertices: *sweepN,
+		SweepTrials:   *trials,
+		Seed:          *seed,
+		Out:           stdout,
+	}
+
+	experiments := bench.Experiments()
+	var ids []string
+	if *runIDs == "all" {
+		ids = bench.Order()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments[id]; !ok {
+				fmt.Fprintf(stderr, "misbench: unknown experiment %q (known: %s)\n",
+					id, strings.Join(bench.Order(), " "))
+				return 2
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		fmt.Fprintf(stdout, "━━━ %s ━━━\n", id)
+		start := time.Now()
+		if err := experiments[id](cfg); err != nil {
+			fmt.Fprintf(stderr, "misbench: %s: %v\n", id, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

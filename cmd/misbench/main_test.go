@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyArgs(t *testing.T, ids string) []string {
+	t.Helper()
+	return []string{
+		"-run", ids,
+		"-scale", "20000",
+		"-sweep-n", "4000",
+		"-trials", "2",
+		"-workdir", t.TempDir(),
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(tinyArgs(t, "table4,table7,fig5"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Table 4", "Table 7", "Figure 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "table99"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(tinyArgs(t, "ablation-io,ablation-earlystop,ablation-pq"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Ablation") {
+		t.Fatal("missing ablation output")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gio"
+	"repro/internal/plrg"
+)
+
+func TestImportSortExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(edges, []byte("0 1\n1 2\n2 3\n3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Import.
+	imported := filepath.Join(dir, "g.adj")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-import", edges, "-o", imported}, &stdout, &stderr); code != 0 {
+		t.Fatalf("import exit %d: %s", code, stderr.String())
+	}
+
+	// Sort an unsorted file with a tiny budget.
+	unsorted := filepath.Join(dir, "u.adj")
+	if err := gio.WriteGraph(unsorted, plrg.PowerLawN(1000, 2.0, 1), nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	sorted := filepath.Join(dir, "s.adj")
+	stdout.Reset()
+	if code := run([]string{"-sort", unsorted, "-o", sorted, "-mem", "2048"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("sort exit %d: %s", code, stderr.String())
+	}
+	f, err := gio.Open(sorted, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Header().DegreeSorted() {
+		t.Fatal("sort output not flagged degree-sorted")
+	}
+	f.Close()
+
+	// Export back to text.
+	text := filepath.Join(dir, "out.txt")
+	stdout.Reset()
+	if code := run([]string{"-export", imported, "-o", text}, &stdout, &stderr); code != 0 {
+		t.Fatalf("export exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 4 {
+		t.Fatalf("exported %d lines, want 4", got)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-import", "x"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -o: exit %d", code)
+	}
+	if code := run([]string{"-o", "y"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("no mode: exit %d", code)
+	}
+	if code := run([]string{"-import", "a", "-sort", "b", "-o", "y"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("two modes: exit %d", code)
+	}
+	if code := run([]string{"-import", "/missing.txt", "-o", filepath.Join(t.TempDir(), "o.adj")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing input: exit %d", code)
+	}
+}

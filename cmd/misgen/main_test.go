@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gio"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		want func(h gio.Header) bool
+	}{
+		{"plrg", []string{"-kind", "plrg", "-n", "2000", "-beta", "2.0"},
+			func(h gio.Header) bool { return h.Vertices > 1500 && h.DegreeSorted() }},
+		{"er", []string{"-kind", "er", "-n", "500", "-m", "1000"},
+			func(h gio.Header) bool { return h.Vertices == 500 }},
+		{"cascade", []string{"-kind", "cascade", "-k", "10"},
+			func(h gio.Header) bool { return h.Vertices == 30 }},
+		{"star", []string{"-kind", "star", "-k", "7"},
+			func(h gio.Header) bool { return h.Vertices == 8 && h.Edges == 7 }},
+		{"path", []string{"-kind", "path", "-n", "9"},
+			func(h gio.Header) bool { return h.Vertices == 9 && h.Edges == 8 }},
+		{"cycle", []string{"-kind", "cycle", "-n", "9"},
+			func(h gio.Header) bool { return h.Edges == 9 }},
+		{"grid", []string{"-kind", "grid", "-rows", "3", "-cols", "4"},
+			func(h gio.Header) bool { return h.Vertices == 12 && h.Edges == 17 }},
+		{"unsorted", []string{"-kind", "path", "-n", "5", "-unsorted"},
+			func(h gio.Header) bool { return !h.DegreeSorted() }},
+		{"ba", []string{"-kind", "ba", "-n", "400", "-m", "2"},
+			func(h gio.Header) bool { return h.Vertices == 400 && h.Edges > 400 }},
+		{"rmat", []string{"-kind", "rmat", "-n", "1000", "-m", "4000"},
+			func(h gio.Header) bool { return h.Vertices == 1024 && h.Edges > 100 }},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.name+".adj")
+		var stdout, stderr bytes.Buffer
+		code := run(append(c.args, "-o", out), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", c.name, code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "wrote") {
+			t.Fatalf("%s: missing confirmation: %q", c.name, stdout.String())
+		}
+		f, err := gio.Open(out, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		h := f.Header()
+		f.Close()
+		if !c.want(h) {
+			t.Fatalf("%s: unexpected header %+v", c.name, h)
+		}
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-kind", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown kind") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestUnwritableOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-kind", "path", "-n", "3", "-o", "/nonexistent-dir/x.adj"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

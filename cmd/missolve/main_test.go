@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gio"
+	"repro/internal/plrg"
+)
+
+func testGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.adj")
+	if err := gio.WriteGraphSorted(path, plrg.PowerLawN(2000, 2.0, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSolveEveryAlgorithm(t *testing.T) {
+	path := testGraph(t)
+	for _, alg := range []string{
+		"greedy", "baseline", "one-k-swap", "two-k-swap",
+		"dynamic-update", "external-maximal", "randomized",
+	} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-alg", alg, "-verify", "-bound", path}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr %s", alg, code, stderr.String())
+		}
+		out := stdout.String()
+		if !strings.Contains(out, "|IS| =") || !strings.Contains(out, "verified") ||
+			!strings.Contains(out, "upper bound") {
+			t.Fatalf("%s: incomplete output:\n%s", alg, out)
+		}
+	}
+}
+
+func TestSolveColoring(t *testing.T) {
+	path := testGraph(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-color", "-verify", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "proper coloring") {
+		t.Fatalf("output: %s", stdout.String())
+	}
+}
+
+func TestSolveEarlyStopFlag(t *testing.T) {
+	path := testGraph(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-alg", "one-k-swap", "-early-stop", "2", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "rounds = ") {
+		t.Fatal("missing rounds in output")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/does/not/exist.adj"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	path := testGraph(t)
+	if code := run([]string{"-alg", "made-up", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad algorithm: exit %d, want 1", code)
+	}
+}

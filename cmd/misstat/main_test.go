@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gio"
+	"repro/internal/plrg"
+)
+
+func TestStatOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.adj")
+	b := filepath.Join(dir, "b.adj")
+	if err := gio.WriteGraphSorted(a, plrg.Star(5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := gio.WriteGraph(b, plrg.Path(10), nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{a, b}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Data Set", a, b, "top degrees", "deg 1 ×5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d", code)
+	}
+	if code := run([]string{"/missing.adj"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+}

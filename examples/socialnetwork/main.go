@@ -1,0 +1,70 @@
+// Social network analysis: the paper's headline workload. Generate a
+// power-law social graph (the P(α, β) model of Section 2.2), then compare
+// all six algorithms of the evaluation on it — sizes, memory and scans —
+// the way Table 5/6 do for the real Facebook and Twitter graphs.
+//
+// An independent set in a social graph is a maximum set of mutually
+// unconnected users, e.g. for interference-free survey sampling.
+//
+//	go run ./examples/socialnetwork [-n 200000] [-beta 2.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	mis "repro"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "number of users")
+	beta := flag.Float64("beta", 2.1, "power-law exponent")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "mis-social")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "social.adj")
+
+	fmt.Printf("generating P(α, β=%.1f) social graph with ≈%d users...\n", *beta, *n)
+	if err := mis.GeneratePowerLawFile(path, *n, *beta, 42, true); err != nil {
+		log.Fatal(err)
+	}
+	f, err := mis.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	size, _ := f.SizeBytes()
+	fmt.Printf("graph: %d users, %d friendships, avg degree %.2f, %d bytes on disk\n\n",
+		f.NumVertices(), f.NumEdges(), f.AvgDegree(), size)
+
+	bound, err := f.UpperBound()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %10s %8s %10s %8s %8s\n", "algorithm", "|IS|", "ratio", "memory", "scans", "time")
+	for _, alg := range mis.Algorithms() {
+		f.ResetStats()
+		start := time.Now()
+		r, err := f.Solve(alg, mis.SwapOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if err := f.VerifyIndependent(r); err != nil {
+			log.Fatalf("%s: %v", alg, err)
+		}
+		fmt.Printf("%-18s %10d %8.4f %10d %8d %8s\n",
+			alg, r.Size, r.Ratio(bound), r.MemoryBytes, r.IO.Scans,
+			elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("\nupper bound on the independence number: %d\n", bound)
+}

@@ -1,0 +1,72 @@
+package mis
+
+import (
+	"repro/internal/core"
+)
+
+// RandomizedMaximal computes a maximal independent set with the randomized
+// external rounds of Abello, Buchsbaum and Westbrook (the paper's related
+// work [2]): random priorities, local minima join, O(log |V|) expected
+// sequential scans. Deterministic per seed.
+func (f *File) RandomizedMaximal(seed int64) (*Result, error) {
+	r, err := core.RandomizedMaximal(f.inner, seed)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(r), nil
+}
+
+// WeiBound returns Wei's degree-based lower bound on the independence
+// number, Σ_v 1/(deg(v)+1), with one sequential scan. Every maximal
+// independent set this library produces is at least this large.
+func (f *File) WeiBound() (float64, error) {
+	return core.WeiBound(f.inner)
+}
+
+// VertexCover returns the complement of the result as a vertex cover: every
+// edge has at least one endpoint in it. The cover is minimal when the
+// independent set is maximal.
+func (r *Result) VertexCover() []bool {
+	return core.VertexCover(r.InSet)
+}
+
+// VerifyVertexCover checks that every edge of f has an endpoint in cover.
+func (f *File) VerifyVertexCover(cover []bool) error {
+	return core.VerifyVertexCover(f.inner, cover)
+}
+
+// Coloring is a proper vertex coloring produced by ColorByIS.
+type Coloring struct {
+	// Colors maps vertex ID to its 0-based color class.
+	Colors []uint32
+	// NumColors is the number of classes used.
+	NumColors int
+	// ClassSizes is the population of each class.
+	ClassSizes []int
+}
+
+// ColorByIS builds a proper coloring by repeatedly extracting a maximal
+// independent set and assigning it the next color — one sequential scan per
+// class, O(|V|) memory (the graph-coloring extension the paper's conclusion
+// proposes). maxColors caps the classes (0 = unlimited); exceeding the cap
+// is an error.
+func (f *File) ColorByIS(maxColors int) (*Coloring, error) {
+	col, err := core.ColorByIS(f.inner, maxColors)
+	if err != nil {
+		return nil, err
+	}
+	return &Coloring{
+		Colors:     col.Colors,
+		NumColors:  col.NumColors,
+		ClassSizes: col.ClassSizes,
+	}, nil
+}
+
+// VerifyColoring checks that the coloring is proper and complete for f.
+func (f *File) VerifyColoring(col *Coloring) error {
+	return core.VerifyColoring(f.inner, &core.Coloring{
+		Colors:     col.Colors,
+		NumColors:  col.NumColors,
+		ClassSizes: col.ClassSizes,
+	})
+}

@@ -1,0 +1,154 @@
+package mis
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+)
+
+// File is an open adjacency file: the on-disk graph the semi-external
+// algorithms scan. It accumulates I/O statistics across every operation run
+// against it. File is not safe for concurrent use.
+type File struct {
+	inner *gio.File
+	stats gio.Stats
+}
+
+// OpenOption customizes Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	blockSize int
+}
+
+// WithBlockSize sets the buffered I/O block size (the B of the paper's I/O
+// cost formulas). The default is 256 KiB.
+func WithBlockSize(b int) OpenOption {
+	return func(c *openConfig) { c.blockSize = b }
+}
+
+// Open opens an adjacency file produced by Builder.WriteFile,
+// GeneratePowerLawFile, ImportEdgeList or SortFileByDegree.
+func Open(path string, opts ...OpenOption) (*File, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f := &File{}
+	inner, err := gio.Open(path, cfg.blockSize, &f.stats)
+	if err != nil {
+		return nil, err
+	}
+	f.inner = inner
+	return f, nil
+}
+
+// Close closes the file.
+func (f *File) Close() error { return f.inner.Close() }
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.inner.Path() }
+
+// NumVertices returns the number of vertices.
+func (f *File) NumVertices() int { return f.inner.NumVertices() }
+
+// NumEdges returns the number of undirected edges.
+func (f *File) NumEdges() uint64 { return f.inner.NumEdges() }
+
+// AvgDegree returns the average degree.
+func (f *File) AvgDegree() float64 {
+	n := f.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(f.NumEdges()) / float64(n)
+}
+
+// DegreeSorted reports whether the file's records are in ascending-degree
+// scan order (the Greedy preprocessing).
+func (f *File) DegreeSorted() bool { return f.inner.Header().DegreeSorted() }
+
+// SizeBytes returns the on-disk size.
+func (f *File) SizeBytes() (int64, error) { return f.inner.SizeBytes() }
+
+// Stats returns the accumulated I/O statistics for all operations on f.
+func (f *File) Stats() IOStats { return IOStats(f.stats) }
+
+// ResetStats zeroes the accumulated I/O statistics.
+func (f *File) ResetStats() { f.stats = gio.Stats{} }
+
+// Greedy runs Algorithm 1 (one sequential scan; a maximal independent set).
+// On a degree-sorted file this is the paper's GREEDY; on an unsorted file it
+// is the BASELINE competitor.
+func (f *File) Greedy() (*Result, error) {
+	r, err := core.Greedy(f.inner)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(r), nil
+}
+
+// OneKSwap runs Algorithm 2 starting from the given independent set
+// (typically a Greedy result).
+func (f *File) OneKSwap(initial *Result, opts SwapOptions) (*Result, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("mis: one-k-swap: nil initial set")
+	}
+	r, err := core.OneKSwap(f.inner, initial.InSet, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(r), nil
+}
+
+// TwoKSwap runs Algorithms 3–4 starting from the given independent set.
+func (f *File) TwoKSwap(initial *Result, opts SwapOptions) (*Result, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("mis: two-k-swap: nil initial set")
+	}
+	r, err := core.TwoKSwap(f.inner, initial.InSet, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(r), nil
+}
+
+// DynamicUpdate runs the classical in-memory greedy. It loads the whole
+// graph into memory first — the scalability limitation the paper's
+// algorithms remove — so expect it to fail on graphs that do not fit.
+func (f *File) DynamicUpdate() (*Result, error) {
+	g, err := loadWhole(f)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(core.DynamicUpdate(g)), nil
+}
+
+// ExternalMaximal computes a maximal independent set by time-forward
+// processing through an external priority queue (the paper's STXXL
+// competitor).
+func (f *File) ExternalMaximal() (*Result, error) {
+	r, err := core.ExternalMaximal(f.inner, core.ExternalMaximalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(r), nil
+}
+
+// UpperBound runs Algorithm 5: a one-scan upper bound on the independence
+// number, the denominator of the paper's approximation ratios.
+func (f *File) UpperBound() (uint64, error) {
+	return core.UpperBound(f.inner)
+}
+
+// VerifyIndependent checks that no edge has both endpoints in the result.
+func (f *File) VerifyIndependent(r *Result) error {
+	return core.VerifyIndependent(f.inner, r.InSet)
+}
+
+// VerifyMaximal checks that every vertex outside the result has a neighbor
+// inside it.
+func (f *File) VerifyMaximal(r *Result) error {
+	return core.VerifyMaximal(f.inner, r.InSet)
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyConfig(t *testing.T) (*Config, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	return &Config{
+		WorkDir:       t.TempDir(),
+		DatasetScale:  20000,
+		SweepVertices: 4000,
+		SweepTrials:   2,
+		Seed:          1,
+		Out:           &buf,
+	}, &buf
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	cfg, buf := tinyConfig(t)
+	for _, id := range Order() {
+		exp := Experiments()[id]
+		if exp == nil {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+		if err := exp(cfg); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Figure 6", "Table 4", "Table 5",
+		"Table 6", "Table 7", "Table 8", "Table 9", "Figure 5", "Figure 8",
+		"Figure 9", "Figure 10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestOrderMatchesRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(Order()) != len(exps) {
+		t.Fatalf("Order has %d ids, registry has %d", len(Order()), len(exps))
+	}
+	for _, id := range Order() {
+		if _, ok := exps[id]; !ok {
+			t.Errorf("ordered id %q not in registry", id)
+		}
+	}
+}
+
+func TestBetaForAvgDegree(t *testing.T) {
+	// Monotone: denser targets need smaller β.
+	bSparse := betaForAvgDegree(10000, 4.0)
+	bDense := betaForAvgDegree(10000, 20.0)
+	if bDense >= bSparse {
+		t.Fatalf("beta(%f)=%f should be below beta(%f)=%f", 20.0, bDense, 4.0, bSparse)
+	}
+	// Extreme targets clamp to the search interval.
+	if b := betaForAvgDegree(10000, 1e9); b != 1.05 {
+		t.Fatalf("very dense target: beta = %f, want clamp at 1.05", b)
+	}
+	if b := betaForAvgDegree(10000, 0.0001); b != 4.0 {
+		t.Fatalf("very sparse target: beta = %f, want clamp at 4.0", b)
+	}
+}
+
+func TestStandInCaching(t *testing.T) {
+	cfg, _ := tinyConfig(t)
+	d := PaperDatasets()[0]
+	s1, u1, err := cfg.standIn(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, u2, err := cfg.standIn(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || u1 != u2 {
+		t.Fatal("standIn did not cache")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	// The paper's headline ordering must hold on the stand-ins:
+	// swaps never lose to their seed, and Greedy beats Baseline.
+	cfg, _ := tinyConfig(t)
+	runs, err := cfg.allRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no runs")
+	}
+	for _, r := range runs {
+		if r.oneAfterGreedy < r.greedy {
+			t.Errorf("%s: one-k (%d) below greedy (%d)", r.name, r.oneAfterGreedy, r.greedy)
+		}
+		if r.twoAfterGreedy < r.greedy {
+			t.Errorf("%s: two-k (%d) below greedy (%d)", r.name, r.twoAfterGreedy, r.greedy)
+		}
+		if r.oneAfterBase < r.baseline {
+			t.Errorf("%s: one-k (%d) below baseline (%d)", r.name, r.oneAfterBase, r.baseline)
+		}
+		if r.greedy <= r.baseline {
+			t.Errorf("%s: greedy (%d) does not beat baseline (%d)", r.name, r.greedy, r.baseline)
+		}
+		if uint64(r.twoAfterGreedy) > r.bound {
+			t.Errorf("%s: result exceeds the upper bound", r.name)
+		}
+		if r.memGreedy >= r.memOne || r.memOne > r.memTwo {
+			t.Errorf("%s: memory ordering violated: greedy=%d one=%d two=%d",
+				r.name, r.memGreedy, r.memOne, r.memTwo)
+		}
+	}
+}

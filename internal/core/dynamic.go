@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// DynamicUpdate is the classical in-memory greedy of Halldórsson and
+// Radhakrishnan (the paper's DYNAMICUPDATE competitor): repeatedly move a
+// minimum-degree vertex into the independent set, delete it and its
+// neighbors from the graph, and update the degrees of the affected vertices.
+// A bucket queue keyed by current degree makes the whole procedure
+// O(|V| + |E|), but unlike the semi-external algorithms it needs the entire
+// graph in memory — the paper's motivating limitation.
+func DynamicUpdate(g *graph.Graph) *Result {
+	n := g.NumVertices()
+	res := newResult(n)
+	if n == 0 {
+		return res
+	}
+
+	deg := make([]int32, n)
+	removed := make([]bool, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		deg[v] = int32(d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+
+	// Bucket queue: buckets[d] holds vertices whose degree was d when
+	// enqueued; stale entries are skipped on pop by re-checking deg.
+	buckets := make([][]uint32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], uint32(v))
+	}
+
+	cur := 0
+	for {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || int(deg[v]) != cur {
+			continue // deleted or stale entry
+		}
+		// v joins the IS; remove v and its surviving neighbors.
+		res.InSet[v] = true
+		res.Size++
+		removed[v] = true
+		for _, u := range g.Neighbors(v) {
+			if removed[u] {
+				continue
+			}
+			removed[u] = true
+			// Removing u lowers the degree of u's surviving neighbors.
+			for _, w := range g.Neighbors(u) {
+				if removed[w] {
+					continue
+				}
+				deg[w]--
+				d := deg[w]
+				buckets[d] = append(buckets[d], w)
+				if int(d) < cur {
+					cur = int(d)
+				}
+			}
+		}
+	}
+
+	// Memory: the CSR graph itself plus degrees, flags and buckets — the
+	// point of the comparison is that this scales with |E|, not |V|.
+	res.MemoryBytes = uint64(n)*(4+1+4) + uint64(2*g.NumEdges())*4
+	return res
+}

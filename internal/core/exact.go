@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// MaxExactVertices is the largest graph Exact accepts. The solver packs the
+// vertex set into one machine word.
+const MaxExactVertices = 64
+
+// Exact computes the exact independence number of a small graph (≤ 64
+// vertices) with branch-and-bound over bitmask vertex sets. It is the test
+// oracle for approximation ratios and for Algorithm 5's upper bound; it is
+// deliberately not part of the scalable pipeline.
+func Exact(g *graph.Graph) (int, error) {
+	n := g.NumVertices()
+	if n > MaxExactVertices {
+		return 0, fmt.Errorf("core: exact solver supports ≤ %d vertices, got %d", MaxExactVertices, n)
+	}
+	adj := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			adj[v] |= 1 << u
+		}
+	}
+	var full uint64
+	if n == 64 {
+		full = ^uint64(0)
+	} else {
+		full = (1 << n) - 1
+	}
+	best := 0
+	var rec func(candidates uint64, size int)
+	rec = func(candidates uint64, size int) {
+		if size+bits.OnesCount64(candidates) <= best {
+			return // bound: even taking every candidate cannot beat best
+		}
+		if candidates == 0 {
+			if size > best {
+				best = size
+			}
+			return
+		}
+		// Branch on the candidate with the most candidate-neighbors:
+		// including it removes the most vertices, excluding it prunes hard.
+		pick, pickDeg := -1, -1
+		rest := candidates
+		for rest != 0 {
+			v := bits.TrailingZeros64(rest)
+			rest &= rest - 1
+			d := bits.OnesCount64(adj[v] & candidates)
+			if d > pickDeg {
+				pick, pickDeg = v, d
+			}
+		}
+		if pickDeg == 0 {
+			// Remaining candidates are pairwise non-adjacent: take them all.
+			if s := size + bits.OnesCount64(candidates); s > best {
+				best = s
+			}
+			return
+		}
+		bit := uint64(1) << pick
+		rec(candidates&^(adj[pick]|bit), size+1) // include pick
+		rec(candidates&^bit, size)               // exclude pick
+	}
+	rec(full, 0)
+	return best, nil
+}
+
+// ExactSet returns one maximum independent set of a small graph, as a
+// membership slice, alongside its size.
+func ExactSet(g *graph.Graph) ([]bool, int, error) {
+	n := g.NumVertices()
+	if n > MaxExactVertices {
+		return nil, 0, fmt.Errorf("core: exact solver supports ≤ %d vertices, got %d", MaxExactVertices, n)
+	}
+	adj := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			adj[v] |= 1 << u
+		}
+	}
+	var full uint64
+	if n == 64 {
+		full = ^uint64(0)
+	} else {
+		full = (1 << n) - 1
+	}
+	best, bestSet := 0, uint64(0)
+	var rec func(candidates, chosen uint64, size int)
+	rec = func(candidates, chosen uint64, size int) {
+		if size+bits.OnesCount64(candidates) <= best {
+			return
+		}
+		if candidates == 0 {
+			if size > best {
+				best, bestSet = size, chosen
+			}
+			return
+		}
+		pick, pickDeg := -1, -1
+		rest := candidates
+		for rest != 0 {
+			v := bits.TrailingZeros64(rest)
+			rest &= rest - 1
+			d := bits.OnesCount64(adj[v] & candidates)
+			if d > pickDeg {
+				pick, pickDeg = v, d
+			}
+		}
+		if pickDeg == 0 {
+			if s := size + bits.OnesCount64(candidates); s > best {
+				best, bestSet = s, chosen|candidates
+			}
+			return
+		}
+		bit := uint64(1) << pick
+		rec(candidates&^(adj[pick]|bit), chosen|bit, size+1)
+		rec(candidates&^bit, chosen, size)
+	}
+	rec(full, 0, 0)
+	in := make([]bool, n)
+	for v := 0; v < n; v++ {
+		in[v] = bestSet&(1<<v) != 0
+	}
+	return in, best, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/extpq"
+	"repro/internal/gio"
+)
+
+// ExternalMaximalOptions configure ExternalMaximal.
+type ExternalMaximalOptions struct {
+	// PQMemoryCapacity bounds the external priority queue's in-memory
+	// buffer (keys); ≤ 0 selects extpq's default.
+	PQMemoryCapacity int
+	// TempDir receives priority-queue spill files; empty selects the OS
+	// temp directory.
+	TempDir string
+}
+
+// ExternalMaximal computes a maximal independent set with time-forward
+// processing, the deterministic external algorithm of Zeh implemented by
+// the paper's STXXL competitor. Vertices are processed in scan order; a
+// vertex joins the set unless an earlier IS vertex forwarded it an
+// "excluded" message through an external priority queue keyed by scan
+// position. Two sequential scans plus O(sort(|E|)) priority-queue I/O.
+//
+// The algorithm guarantees maximality only — not size — which is exactly
+// the gap the paper's swap algorithms close.
+func ExternalMaximal(f *gio.File, opts ExternalMaximalOptions) (*Result, error) {
+	n := f.NumVertices()
+	snap := snapshot(f.Stats())
+
+	// Scan 1: record each vertex's scan position so messages can be keyed
+	// by processing time.
+	pos := make([]uint32, n)
+	{
+		i := uint32(0)
+		if err := f.ForEach(func(r gio.Record) error {
+			pos[r.ID] = i
+			i++
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("core: external maximal: position scan: %w", err)
+		}
+	}
+
+	pq := extpq.New(extpq.Options{MemoryCapacity: opts.PQMemoryCapacity, Dir: opts.TempDir})
+	defer pq.Close()
+
+	res := newResult(n)
+	var pqPeak int
+	cur := uint32(0)
+	err := f.ForEach(func(r gio.Record) error {
+		me := uint64(pos[r.ID])
+		// Drain messages addressed to this position; any message means an
+		// earlier IS vertex excluded us.
+		excluded := false
+		for {
+			k, ok, err := pq.Min()
+			if err != nil {
+				return err
+			}
+			if !ok || k > me {
+				break
+			}
+			if _, _, err := pq.Pop(); err != nil {
+				return err
+			}
+			if k == me {
+				excluded = true
+			}
+			// k < me cannot happen: messages target strictly later
+			// positions and are drained in order. Tolerated silently.
+		}
+		if !excluded {
+			res.InSet[r.ID] = true
+			res.Size++
+			for _, u := range r.Neighbors {
+				if uint64(pos[u]) > me {
+					if err := pq.Push(uint64(pos[u])); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if pq.Len() > pqPeak {
+			pqPeak = pq.Len()
+		}
+		cur++
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: external maximal: %w", err)
+	}
+
+	// Memory: position array + the PQ's bounded in-memory buffer.
+	memCap := opts.PQMemoryCapacity
+	if memCap <= 0 {
+		memCap = extpq.DefaultMemoryCapacity
+	}
+	if pqPeak < memCap {
+		memCap = pqPeak
+	}
+	res.MemoryBytes = uint64(n)*4 + uint64(memCap)*8
+	res.IO = statsDelta(f.Stats(), snap)
+	return res, nil
+}

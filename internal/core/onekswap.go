@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gio"
+	"repro/internal/semiext"
+)
+
+// SwapOptions configure the one-k-swap and two-k-swap algorithms.
+type SwapOptions struct {
+	// MaxRounds caps the number of swap rounds. The worst case (the
+	// cascade-swap graph of Figure 5) needs |V|/3 rounds; real graphs
+	// converge in 2–9 (Table 7). ≤ 0 selects 10·|V| (effectively unbounded,
+	// terminating via the no-swap condition).
+	MaxRounds int
+	// EarlyStopRounds stops after this many rounds even if swaps are still
+	// firing — the paper's early-stop observation (Table 8: ≥97% of swaps
+	// complete within three rounds). 0 disables early stop.
+	EarlyStopRounds int
+	// StallRounds stops after this many consecutive rounds with no net
+	// gain, guarding against size-neutral swap oscillation. ≤ 0 selects 3.
+	StallRounds int
+	// OnPhase, when non-nil, observes the state machine: it is called after
+	// each phase of each round ("setup", "pre-swap", "swap", "post-swap",
+	// and the final "sweep") with a read-only view of the state array.
+	// Intended for tests and debugging; must not retain or mutate states.
+	OnPhase func(round int, phase string, states []semiext.State)
+}
+
+// tracePhase invokes the OnPhase hook if configured.
+func (o SwapOptions) tracePhase(round int, phase string, states semiext.States) {
+	if o.OnPhase != nil {
+		o.OnPhase(round, phase, states)
+	}
+}
+
+func (o SwapOptions) withDefaults(n int) SwapOptions {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 10*n + 10
+	}
+	if o.StallRounds <= 0 {
+		o.StallRounds = 3
+	}
+	return o
+}
+
+// ErrNotIndependent is returned when the initial set handed to a swap
+// algorithm contains an edge.
+var ErrNotIndependent = errors.New("core: initial set is not independent")
+
+// OneKSwap runs Algorithm 2: starting from the independent set initial
+// (indexed by vertex ID), it repeatedly exchanges one IS vertex for k ≥ 2
+// non-IS vertices until no 1-k swap applies. Each round performs a pre-swap
+// scan (detecting 1-2 swap skeletons and resolving swap conflicts by
+// scan-order preemption), an in-memory swap step, and a post-swap scan
+// (0↔1 swaps and state recomputation). Only sequential scans touch the
+// file; memory stays at a few words per vertex.
+func OneKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
+	n := f.NumVertices()
+	if len(initial) != n {
+		return nil, fmt.Errorf("core: one-k-swap: initial set has %d entries for %d vertices", len(initial), n)
+	}
+	opts = opts.withDefaults(n)
+	snap := snapshot(f.Stats())
+
+	states := semiext.NewStates(n)
+	isn := semiext.NewISN(n, false)
+	size := 0
+	for v, in := range initial {
+		if in {
+			states[v] = semiext.StateIS
+			size++
+		} else {
+			states[v] = semiext.StateNonIS
+		}
+	}
+
+	// Setup scan (Algorithm 2 lines 1–3): find A vertices and their ISN,
+	// validating independence of the input along the way.
+	err := f.ForEach(func(r gio.Record) error {
+		u := r.ID
+		isMember := states[u] == semiext.StateIS
+		var (
+			isNbrs int
+			e      uint32
+		)
+		for _, nb := range r.Neighbors {
+			if states[nb] == semiext.StateIS {
+				if isMember {
+					return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+				}
+				isNbrs++
+				e = nb
+			}
+		}
+		if !isMember && isNbrs == 1 {
+			states[u] = semiext.StateAdjacent
+			isn.Set(u, e)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts.tracePhase(0, "setup", states)
+
+	res := newResult(n)
+	stall := 0
+	for round := 0; round < opts.MaxRounds; round++ {
+		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
+			break
+		}
+		canSwap, err := oneKRound(f, states, isn, opts, round+1)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds++
+		newSize := states.CountIS()
+		res.RoundGains = append(res.RoundGains, newSize-size)
+		if newSize == size {
+			stall++
+		} else {
+			stall = 0
+		}
+		size = newSize
+		if !canSwap || stall >= opts.StallRounds {
+			break
+		}
+	}
+
+	if err := maximalitySweep(f, states); err != nil {
+		return nil, err
+	}
+	opts.tracePhase(res.Rounds, "sweep", states)
+
+	for v, s := range states {
+		if s == semiext.StateIS {
+			res.InSet[v] = true
+			res.Size++
+		}
+	}
+	res.MemoryBytes = states.MemoryBytes() + isn.MemoryBytes()
+	res.IO = statsDelta(f.Stats(), snap)
+	return res, nil
+}
+
+// oneKRound executes one round: pre-swap scan, swap step, post-swap scan.
+// It reports whether any swap fired (an R vertex left the set).
+func oneKRound(f *gio.File, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int) (bool, error) {
+	// Pre-swap scan (Algorithm 2 lines 7–14).
+	err := f.ForEach(func(r gio.Record) error {
+		u := r.ID
+		if states[u] != semiext.StateAdjacent {
+			return nil
+		}
+		// (i) Conflict: a neighbor already claimed a swap this round.
+		for _, nb := range r.Neighbors {
+			if states[nb] == semiext.StateProtected {
+				states[u] = semiext.StateConflict
+				isn.Clear(u)
+				return nil
+			}
+		}
+		w, _, cnt := isn.Get(u)
+		if cnt != 1 {
+			// Defensive: an A vertex always has exactly one ISN here.
+			states[u] = semiext.StateNonIS
+			return nil
+		}
+		switch states[w] {
+		case semiext.StateIS:
+			// (ii) 1-2 swap skeleton (u, v, w): some other still-A vertex v
+			// with ISN(v) = w is not adjacent to u. With x = u's neighbors
+			// naming w, a witness exists iff |ISN⁻¹(w)| ≥ x + 2 (the count
+			// includes u itself).
+			x := uint32(0)
+			for _, nb := range r.Neighbors {
+				if states[nb] == semiext.StateAdjacent && isn.Has(nb, w) {
+					if _, _, c := isn.Get(nb); c == 1 {
+						x++
+					}
+				}
+			}
+			if isn.PreimageCount(w) >= x+2 {
+				states[u] = semiext.StateProtected
+				isn.Clear(u)
+				states[w] = semiext.StateRetrograde
+			}
+		case semiext.StateRetrograde:
+			// (iii) w is already leaving; u joins the swap.
+			states[u] = semiext.StateProtected
+			isn.Clear(u)
+		}
+		return nil
+	})
+	if err != nil {
+		return false, fmt.Errorf("core: one-k-swap: pre-swap: %w", err)
+	}
+	opts.tracePhase(round, "pre-swap", states)
+
+	// Swap step (lines 15–19). Pure state-array pass: no file access.
+	canSwap := false
+	for v := range states {
+		switch states[v] {
+		case semiext.StateProtected:
+			states[v] = semiext.StateIS
+		case semiext.StateRetrograde:
+			states[v] = semiext.StateNonIS
+			canSwap = true
+		}
+	}
+	opts.tracePhase(round, "swap", states)
+
+	// Post-swap scan (lines 20–28).
+	if err := postSwapScan(f, states, isn, false); err != nil {
+		return false, fmt.Errorf("core: one-k-swap: post-swap: %w", err)
+	}
+	opts.tracePhase(round, "post-swap", states)
+	return canSwap, nil
+}
+
+// postSwapScan performs Algorithm 2 lines 20–28 (and Algorithm 3 lines
+// 15–23 when two is true): 0↔1 swaps and recomputation of A states and ISN
+// sets for the next round.
+//
+// One deliberate extension over the paper's pseudocode: the recomputation
+// covers N vertices as well as C/A. A vertex that was N because it had two
+// IS neighbors can end the round with exactly one (a swap removed the
+// other) and must become A, or later swap opportunities are lost — the
+// cascade-swap graph of Figure 5 cannot progress past its first group
+// otherwise, contradicting the paper's own worst-case analysis.
+func postSwapScan(f *gio.File, states semiext.States, isn *semiext.ISN, two bool) error {
+	return f.ForEach(func(r gio.Record) error {
+		u := r.ID
+		switch states[u] {
+		case semiext.StateNonIS, semiext.StateConflict, semiext.StateAdjacent:
+		default:
+			return nil
+		}
+		isn.Clear(u)
+		var (
+			isNbrs int
+			e1, e2 uint32
+		)
+		for _, nb := range r.Neighbors {
+			if states[nb] == semiext.StateIS {
+				switch isNbrs {
+				case 0:
+					e1 = nb
+				case 1:
+					e2 = nb
+				}
+				isNbrs++
+			}
+		}
+		switch {
+		case isNbrs == 1:
+			states[u] = semiext.StateAdjacent
+			isn.Set(u, e1)
+		case isNbrs == 2 && two:
+			states[u] = semiext.StateAdjacent
+			isn.Set(u, e1, e2)
+		case isNbrs == 0:
+			// 0↔1 swap: u may join only if every neighbor is C or N. The
+			// strict condition (an A neighbor blocks u) is load-bearing: an
+			// A neighbor recorded its ISN earlier in this scan and could
+			// later swap against it, so u joining here could create an IS
+			// edge one round later.
+			states[u] = semiext.StateNonIS
+			for _, nb := range r.Neighbors {
+				if s := states[nb]; s != semiext.StateConflict && s != semiext.StateNonIS {
+					return nil
+				}
+			}
+			states[u] = semiext.StateIS
+		default:
+			states[u] = semiext.StateNonIS
+		}
+		return nil
+	})
+}
+
+// maximalitySweep adds every non-IS vertex with no IS neighbor, in scan
+// order, guaranteeing the returned set is maximal even when the strict 0↔1
+// condition left isolated candidates behind. A single sequential scan
+// suffices: a vertex skipped here has an IS neighbor, and additions only
+// give later vertices more IS neighbors.
+func maximalitySweep(f *gio.File, states semiext.States) error {
+	return f.ForEach(func(r gio.Record) error {
+		u := r.ID
+		if states[u] == semiext.StateIS {
+			return nil
+		}
+		for _, nb := range r.Neighbors {
+			if states[nb] == semiext.StateIS {
+				return nil
+			}
+		}
+		states[u] = semiext.StateIS
+		return nil
+	})
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+// writeFileQuick writes g to a temp file and opens it, for use inside
+// testing/quick properties that have no *testing.T in scope. The path is
+// unlinked immediately after opening (the descriptor keeps it readable), so
+// nothing accumulates in the temp directory. Returns nil on any error.
+func writeFileQuick(g *graph.Graph) *gio.File {
+	dir, err := os.MkdirTemp("", "misquick")
+	if err != nil {
+		return nil
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "g.adj")
+	if err := gio.WriteGraphSorted(path, g, nil); err != nil {
+		return nil
+	}
+	f, err := gio.Open(path, 0, nil)
+	if err != nil {
+		return nil
+	}
+	return f
+}

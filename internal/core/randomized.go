@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gio"
+	"repro/internal/semiext"
+)
+
+// RandomizedMaximal computes a maximal independent set with the randomized
+// rounds of Abello, Buchsbaum and Westbrook's functional approach (related
+// work [2], I/O O(sort(|E|)) with high probability), adapted to the
+// semi-external setting: each round draws random priorities for the still
+// undecided vertices, one scan admits every vertex that beats all undecided
+// neighbors, and a second scan retires the admitted vertices' neighbors.
+// With constant probability a constant fraction of vertices is decided per
+// round, so O(log |V|) scans decide everything.
+func RandomizedMaximal(f *gio.File, seed int64) (*Result, error) {
+	n := f.NumVertices()
+	snap := snapshot(f.Stats())
+	rng := rand.New(rand.NewSource(seed))
+
+	states := semiext.NewStates(n) // Initial = undecided
+	prio := make([]uint64, n)
+	undecided := n
+	rounds := 0
+
+	for undecided > 0 {
+		rounds++
+		if rounds > 64*(bitsLen(n)+1) {
+			return nil, fmt.Errorf("core: randomized maximal: no progress after %d rounds", rounds)
+		}
+		for v := 0; v < n; v++ {
+			if states[v] == semiext.StateInitial {
+				prio[v] = rng.Uint64()
+			}
+		}
+		// Scan 1: local minima of the priority order join the set.
+		err := f.ForEach(func(r gio.Record) error {
+			u := r.ID
+			if states[u] != semiext.StateInitial {
+				return nil
+			}
+			for _, nb := range r.Neighbors {
+				if states[nb] == semiext.StateInitial && beats(prio[nb], nb, prio[u], u) {
+					return nil
+				}
+				if states[nb] == semiext.StateProtected {
+					// A neighbor already won this round.
+					return nil
+				}
+			}
+			states[u] = semiext.StateProtected
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: randomized maximal: %w", err)
+		}
+		// Scan 2: winners become IS; their undecided neighbors retire.
+		err = f.ForEach(func(r gio.Record) error {
+			u := r.ID
+			if states[u] != semiext.StateProtected {
+				return nil
+			}
+			states[u] = semiext.StateIS
+			undecided--
+			for _, nb := range r.Neighbors {
+				if states[nb] == semiext.StateInitial {
+					states[nb] = semiext.StateNonIS
+					undecided--
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: randomized maximal: %w", err)
+		}
+	}
+
+	res := newResult(n)
+	for v, s := range states {
+		if s == semiext.StateIS {
+			res.InSet[v] = true
+			res.Size++
+		}
+	}
+	res.Rounds = rounds
+	res.MemoryBytes = states.MemoryBytes() + uint64(n)*8
+	res.IO = statsDelta(f.Stats(), snap)
+	return res, nil
+}
+
+// beats reports whether vertex a (priority pa) precedes vertex b (priority
+// pb) in the random order, with the vertex ID as the deterministic
+// tiebreak.
+func beats(pa uint64, a uint32, pb uint64, b uint32) bool {
+	if pa != pb {
+		return pa < pb
+	}
+	return a < b
+}
+
+func bitsLen(n int) int {
+	l := 0
+	for n > 0 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gio"
+	"repro/internal/semiext"
+)
+
+// twoKState bundles the per-round in-memory structures of Algorithm 3.
+type twoKState struct {
+	states semiext.States
+	isn    *semiext.ISN
+	deg    []uint32
+	sc     *semiext.SCStore
+
+	// seenPair[key(w1,w2)] lists scanned A vertices whose ISN is exactly
+	// {w1, w2}; seenOne[w] lists those whose ISN is exactly {w}. Entries are
+	// validated lazily against current state and ISN before use. They are
+	// part of the swap-candidate storage, so their population counts toward
+	// the SC high-water mark (Figure 10 measures the whole store).
+	seenPair  map[uint64][]uint32
+	seenOne   map[uint32][]uint32
+	seenCount int
+	scPeak    int
+
+	// Swap groups: each fired skeleton registers its leaving IS vertices
+	// and entering members so the swap-phase scan can validate the group
+	// and roll it back atomically on a passenger collision.
+	groups   []swapGroup
+	groupOf  []int32 // primary group of a P/R vertex, -1 when none
+	groupOf2 []int32 // secondary group (a joiner whose two ISN left in different groups)
+}
+
+type swapGroup struct {
+	ws        []uint32 // IS vertices leaving (state R)
+	confirmed []uint32 // members already promoted to I this swap phase
+	failed    bool
+}
+
+func pairKey(w1, w2 uint32) uint64 {
+	if w1 > w2 {
+		w1, w2 = w2, w1
+	}
+	return uint64(w1)<<32 | uint64(w2)
+}
+
+// TwoKSwap runs Algorithms 3 and 4: starting from the independent set
+// initial, it fires 2-3 swap skeletons (two IS vertices exchanged for three
+// or more non-IS vertices) in addition to every 1-k swap, using the SC
+// swap-candidate store. Rounds are three sequential scans: pre-swap, a
+// validating swap scan, and post-swap.
+//
+// The swap scan validates each promotion against the vertex's in-hand
+// adjacency list and rolls back a whole skeleton group if two passengers
+// from different groups turn out to be adjacent — an edge no SC pair ever
+// examined. See DESIGN.md §3.3 for why rollback is confined to one group.
+func TwoKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
+	n := f.NumVertices()
+	if len(initial) != n {
+		return nil, fmt.Errorf("core: two-k-swap: initial set has %d entries for %d vertices", len(initial), n)
+	}
+	opts = opts.withDefaults(n)
+	snap := snapshot(f.Stats())
+
+	st := &twoKState{
+		states:   semiext.NewStates(n),
+		isn:      semiext.NewISN(n, true),
+		deg:      make([]uint32, n),
+		sc:       semiext.NewSCStore(),
+		seenPair: make(map[uint64][]uint32),
+		seenOne:  make(map[uint32][]uint32),
+		groupOf:  make([]int32, n),
+		groupOf2: make([]int32, n),
+	}
+	size := 0
+	for v, in := range initial {
+		if in {
+			st.states[v] = semiext.StateIS
+			size++
+		} else {
+			st.states[v] = semiext.StateNonIS
+		}
+	}
+
+	// Setup scan (Algorithm 3 lines 1–3): A vertices with one or two IS
+	// neighbors, plus the degree array used to cap SC bucket sizes.
+	err := f.ForEach(func(r gio.Record) error {
+		u := r.ID
+		st.deg[u] = uint32(len(r.Neighbors))
+		isMember := st.states[u] == semiext.StateIS
+		var (
+			isNbrs int
+			e1, e2 uint32
+		)
+		for _, nb := range r.Neighbors {
+			if st.states[nb] == semiext.StateIS {
+				if isMember {
+					return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+				}
+				switch isNbrs {
+				case 0:
+					e1 = nb
+				case 1:
+					e2 = nb
+				}
+				isNbrs++
+			}
+		}
+		if !isMember {
+			switch isNbrs {
+			case 1:
+				st.states[u] = semiext.StateAdjacent
+				st.isn.Set(u, e1)
+			case 2:
+				st.states[u] = semiext.StateAdjacent
+				st.isn.Set(u, e1, e2)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts.tracePhase(0, "setup", st.states)
+
+	res := newResult(n)
+	stall := 0
+	for round := 0; round < opts.MaxRounds; round++ {
+		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
+			break
+		}
+		canSwap, err := st.round(f, opts, round+1)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds++
+		newSize := st.states.CountIS()
+		res.RoundGains = append(res.RoundGains, newSize-size)
+		if newSize == size {
+			stall++
+		} else {
+			stall = 0
+		}
+		size = newSize
+		if !canSwap || stall >= opts.StallRounds {
+			break
+		}
+	}
+
+	if err := maximalitySweep(f, st.states); err != nil {
+		return nil, err
+	}
+	opts.tracePhase(res.Rounds, "sweep", st.states)
+
+	for v, s := range st.states {
+		if s == semiext.StateIS {
+			res.InSet[v] = true
+			res.Size++
+		}
+	}
+	res.SCHighWater = st.scPeak
+	res.MemoryBytes = st.states.MemoryBytes() + st.isn.MemoryBytes() +
+		st.sc.MemoryBytes() + uint64(n)*4 /* deg */ + uint64(n)*8 /* groups */
+	res.IO = statsDelta(f.Stats(), snap)
+	return res, nil
+}
+
+// round executes pre-swap, swap (validating) and post-swap scans, reporting
+// whether any swap fired.
+func (st *twoKState) round(f *gio.File, opts SwapOptions, round int) (bool, error) {
+	st.groups = st.groups[:0]
+	for i := range st.groupOf {
+		st.groupOf[i] = -1
+		st.groupOf2[i] = -1
+	}
+	st.sc.Reset()
+	clear(st.seenPair)
+	clear(st.seenOne)
+	st.seenCount = 0
+
+	if err := st.preSwapScan(f); err != nil {
+		return false, fmt.Errorf("core: two-k-swap: pre-swap: %w", err)
+	}
+	opts.tracePhase(round, "pre-swap", st.states)
+	canSwap, err := st.swapScan(f)
+	if err != nil {
+		return false, fmt.Errorf("core: two-k-swap: swap: %w", err)
+	}
+	opts.tracePhase(round, "swap", st.states)
+	if err := postSwapScan(f, st.states, st.isn, true); err != nil {
+		return false, fmt.Errorf("core: two-k-swap: post-swap: %w", err)
+	}
+	opts.tracePhase(round, "post-swap", st.states)
+	return canSwap, nil
+}
+
+// preSwapScan runs Algorithm 4 for every A vertex in scan order.
+func (st *twoKState) preSwapScan(f *gio.File) error {
+	nbrSet := make(map[uint32]struct{})
+	return f.ForEach(func(r gio.Record) error {
+		u := r.ID
+		if st.states[u] != semiext.StateAdjacent {
+			return nil
+		}
+		// Conflict (Algorithm 4 lines 3–4): a neighbor already holds P.
+		for _, nb := range r.Neighbors {
+			if st.states[nb] == semiext.StateProtected {
+				st.states[u] = semiext.StateConflict
+				st.isn.Clear(u)
+				return nil
+			}
+		}
+
+		w1, w2, cnt := st.isn.Get(u)
+		switch cnt {
+		case 2:
+			s1, s2 := st.states[w1], st.states[w2]
+			switch {
+			case s1 == semiext.StateIS && s2 == semiext.StateIS:
+				clear(nbrSet)
+				for _, nb := range r.Neighbors {
+					nbrSet[nb] = struct{}{}
+				}
+				if st.fireSkeleton(u, w1, w2, r.Neighbors, nbrSet) {
+					return nil
+				}
+				st.addCandidatePair(u, w1, w2, nbrSet)
+			case s1 == semiext.StateRetrograde && s2 == semiext.StateRetrograde:
+				// Algorithm 4 lines 11–12 generalized: all of u's IS
+				// neighbors are leaving, so u joins. It may straddle two
+				// different groups.
+				st.promote(u, r.Neighbors)
+				st.join(u, w1)
+				st.join(u, w2)
+			}
+			// One I, one R: u's remaining IS neighbor keeps it out.
+		case 1:
+			switch st.states[w1] {
+			case semiext.StateIS:
+				// 1-2 swap skeleton via the witness counter (lines 9–10).
+				x := uint32(0)
+				for _, nb := range r.Neighbors {
+					if st.states[nb] == semiext.StateAdjacent && st.isn.Has(nb, w1) {
+						if _, _, c := st.isn.Get(nb); c == 1 {
+							x++
+						}
+					}
+				}
+				if st.isn.PreimageCount(w1) >= x+2 {
+					st.promote(u, r.Neighbors)
+					st.states[w1] = semiext.StateRetrograde
+					gi := st.newGroup(w1)
+					st.groupOf[w1] = gi
+					st.groupOf[u] = gi
+				} else {
+					// Singleton-ISN vertices feed the partner index but are
+					// not SC-set members (Definition 2 requires a two-IS
+					// neighborhood), so they do not count toward the SC
+					// high-water mark.
+					st.seenOne[w1] = append(st.seenOne[w1], u)
+				}
+			case semiext.StateRetrograde:
+				// Join an already-fired swap (lines 11–12).
+				st.promote(u, r.Neighbors)
+				st.join(u, w1)
+			}
+		}
+		return nil
+	})
+}
+
+// fireSkeleton looks for a 2-3 swap skeleton (a, b, u, w1, w2) using the SC
+// pairs recorded for {w1, w2} (Algorithm 4 lines 5–8). The pair's internal
+// non-adjacency was verified when it was added; adjacency to u is checked
+// against u's in-hand neighbor set. Returns true when a skeleton fired.
+func (st *twoKState) fireSkeleton(u, w1, w2 uint32, neighbors []uint32, nbrSet map[uint32]struct{}) bool {
+	for _, p := range st.sc.Pairs(w1, w2) {
+		if p.U == u || p.V == u {
+			// u itself was recorded as an earlier vertex's partner; firing
+			// with it would be a size-neutral 2↔2 exchange, not a gain.
+			continue
+		}
+		if !st.validCandidate(p.U, w1, w2) || !st.validCandidate(p.V, w1, w2) {
+			continue
+		}
+		if _, adj := nbrSet[p.U]; adj {
+			continue
+		}
+		if _, adj := nbrSet[p.V]; adj {
+			continue
+		}
+		// Fire: u drives, p.U and p.V are passengers.
+		gi := st.newGroup(w1, w2)
+		st.states[w1] = semiext.StateRetrograde
+		st.states[w2] = semiext.StateRetrograde
+		st.groupOf[w1] = gi
+		st.groupOf[w2] = gi
+		st.promote(u, neighbors)
+		st.groupOf[u] = gi
+		for _, m := range [2]uint32{p.U, p.V} {
+			st.states[m] = semiext.StateProtected
+			st.isn.Clear(m)
+			st.groupOf[m] = gi
+		}
+		st.sc.Free(w1, w2)
+		delete(st.seenPair, pairKey(w1, w2))
+		return true
+	}
+	return false
+}
+
+// validCandidate reports whether v is still an A vertex whose ISN is inside
+// {w1, w2} — SC entries and seen lists are validated lazily.
+func (st *twoKState) validCandidate(v, w1, w2 uint32) bool {
+	if st.states[v] != semiext.StateAdjacent {
+		return false
+	}
+	a, b, c := st.isn.Get(v)
+	switch c {
+	case 1:
+		return a == w1 || a == w2
+	case 2:
+		return (a == w1 || a == w2) && (b == w1 || b == w2)
+	}
+	return false
+}
+
+// addCandidatePair records (u, v) into SC(w1, w2) for the first eligible
+// previously-scanned partner v (Algorithm 4 lines 1–2), and remembers u for
+// future partners. Bucket size is capped at deg(w1)+deg(w2), the bound from
+// Lemma 6's analysis.
+func (st *twoKState) addCandidatePair(u, w1, w2 uint32, nbrSet map[uint32]struct{}) {
+	key := pairKey(w1, w2)
+	if capacity := int(st.deg[w1] + st.deg[w2]); len(st.sc.Pairs(w1, w2))*2 < capacity {
+		if v, ok := st.findPartner(u, w1, w2, nbrSet); ok {
+			st.sc.Add(w1, w2, u, v)
+		}
+	}
+	st.seenPair[key] = append(st.seenPair[key], u)
+	st.seenCount++
+	if cur := st.sc.Size() + st.seenCount; cur > st.scPeak {
+		st.scPeak = cur
+	}
+}
+
+// findPartner returns a previously-scanned A vertex v with ISN ⊆ {w1, w2}
+// that is not adjacent to u.
+func (st *twoKState) findPartner(u, w1, w2 uint32, nbrSet map[uint32]struct{}) (uint32, bool) {
+	try := func(list []uint32) (uint32, bool) {
+		for _, v := range list {
+			if v == u || !st.validCandidate(v, w1, w2) {
+				continue
+			}
+			if _, adj := nbrSet[v]; adj {
+				continue
+			}
+			return v, true
+		}
+		return 0, false
+	}
+	if v, ok := try(st.seenPair[pairKey(w1, w2)]); ok {
+		return v, true
+	}
+	if v, ok := try(st.seenOne[w1]); ok {
+		return v, true
+	}
+	return try(st.seenOne[w2])
+}
+
+// promote marks u as P and eagerly demotes its A neighbors to C: u's
+// adjacency list is in hand exactly now, and every invalidated neighbor must
+// stop being a viable SC candidate before a later skeleton could pull it in
+// next to u.
+func (st *twoKState) promote(u uint32, neighbors []uint32) {
+	st.states[u] = semiext.StateProtected
+	st.isn.Clear(u)
+	for _, nb := range neighbors {
+		if st.states[nb] == semiext.StateAdjacent {
+			st.states[nb] = semiext.StateConflict
+			st.isn.Clear(nb)
+		}
+	}
+}
+
+// join appends u to the group of the leaving IS vertex w.
+func (st *twoKState) join(u, w uint32) {
+	gi := st.groupOf[w]
+	if gi < 0 {
+		// w left the set without a registered group (defensive; should not
+		// happen). Give u a singleton group so validation still covers it.
+		gi = st.newGroup()
+		st.groupOf[w] = gi
+	}
+	if st.groupOf[u] < 0 {
+		st.groupOf[u] = gi
+	} else if st.groupOf[u] != gi && st.groupOf2[u] < 0 {
+		st.groupOf2[u] = gi
+	}
+}
+
+func (st *twoKState) newGroup(ws ...uint32) int32 {
+	st.groups = append(st.groups, swapGroup{ws: append([]uint32(nil), ws...)})
+	return int32(len(st.groups) - 1)
+}
+
+// swapScan performs the swap phase as a validating sequential scan:
+// P vertices are confirmed to I unless an I neighbor shows a cross-group
+// passenger collision, in which case the whole group rolls back; R vertices
+// leave the set unless their group failed.
+func (st *twoKState) swapScan(f *gio.File) (bool, error) {
+	canSwap := false
+	err := f.ForEach(func(r gio.Record) error {
+		u := r.ID
+		switch st.states[u] {
+		case semiext.StateProtected:
+			if st.groupFailed(u) {
+				st.states[u] = semiext.StateConflict
+				return nil
+			}
+			for _, nb := range r.Neighbors {
+				if st.states[nb] == semiext.StateIS {
+					// Cross-group passenger collision: nb was promoted
+					// earlier in this scan next to u. Demote u and roll its
+					// group(s) back.
+					st.states[u] = semiext.StateConflict
+					st.fail(st.groupOf[u])
+					st.fail(st.groupOf2[u])
+					return nil
+				}
+			}
+			st.states[u] = semiext.StateIS
+			st.confirm(u)
+		case semiext.StateRetrograde:
+			if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
+				st.states[u] = semiext.StateIS // reinstated
+			} else {
+				st.states[u] = semiext.StateNonIS
+				canSwap = true
+			}
+		}
+		return nil
+	})
+	return canSwap, err
+}
+
+func (st *twoKState) groupFailed(u uint32) bool {
+	if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
+		return true
+	}
+	if gi := st.groupOf2[u]; gi >= 0 && st.groups[gi].failed {
+		return true
+	}
+	return false
+}
+
+func (st *twoKState) confirm(u uint32) {
+	if gi := st.groupOf[u]; gi >= 0 {
+		st.groups[gi].confirmed = append(st.groups[gi].confirmed, u)
+	}
+	if gi := st.groupOf2[u]; gi >= 0 {
+		st.groups[gi].confirmed = append(st.groups[gi].confirmed, u)
+	}
+}
+
+// fail rolls a group back: members already confirmed are demoted to C and
+// the group's leaving IS vertices are reinstated. Cross-group P–R adjacency
+// is impossible (an A vertex's IS neighbors are exactly its ISN set, and an
+// IS vertex is demoted by at most one skeleton per round), so reinstating
+// the ws cannot collide with any other group's confirmed members.
+func (st *twoKState) fail(gi int32) {
+	if gi < 0 || st.groups[gi].failed {
+		return
+	}
+	g := &st.groups[gi]
+	g.failed = true
+	for _, m := range g.confirmed {
+		st.states[m] = semiext.StateConflict
+	}
+	for _, w := range g.ws {
+		st.states[w] = semiext.StateIS
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+// VerifyIndependent checks, with one sequential scan, that no edge of f has
+// both endpoints in the set.
+func VerifyIndependent(f *gio.File, inSet []bool) error {
+	if len(inSet) != f.NumVertices() {
+		return fmt.Errorf("core: verify: set has %d entries for %d vertices", len(inSet), f.NumVertices())
+	}
+	return f.ForEach(func(r gio.Record) error {
+		if !inSet[r.ID] {
+			return nil
+		}
+		for _, nb := range r.Neighbors {
+			if inSet[nb] {
+				return fmt.Errorf("core: set is not independent: edge {%d,%d}", r.ID, nb)
+			}
+		}
+		return nil
+	})
+}
+
+// VerifyMaximal checks, with one sequential scan, that every vertex outside
+// the set has a neighbor inside it (assuming the set is independent).
+func VerifyMaximal(f *gio.File, inSet []bool) error {
+	if len(inSet) != f.NumVertices() {
+		return fmt.Errorf("core: verify: set has %d entries for %d vertices", len(inSet), f.NumVertices())
+	}
+	return f.ForEach(func(r gio.Record) error {
+		if inSet[r.ID] {
+			return nil
+		}
+		for _, nb := range r.Neighbors {
+			if inSet[nb] {
+				return nil
+			}
+		}
+		return fmt.Errorf("core: set is not maximal: vertex %d has no IS neighbor", r.ID)
+	})
+}
+
+// VerifyIndependentGraph is the in-memory variant of VerifyIndependent.
+func VerifyIndependentGraph(g *graph.Graph, inSet []bool) error {
+	for v := 0; v < g.NumVertices(); v++ {
+		if !inSet[v] {
+			continue
+		}
+		for _, nb := range g.Neighbors(uint32(v)) {
+			if inSet[nb] {
+				return fmt.Errorf("core: set is not independent: edge {%d,%d}", v, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyMaximalGraph is the in-memory variant of VerifyMaximal.
+func VerifyMaximalGraph(g *graph.Graph, inSet []bool) error {
+	for v := 0; v < g.NumVertices(); v++ {
+		if inSet[v] {
+			continue
+		}
+		covered := false
+		for _, nb := range g.Neighbors(uint32(v)) {
+			if inSet[nb] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("core: set is not maximal: vertex %d has no IS neighbor", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package dynamic
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/plrg"
+)
+
+func openGraph(t *testing.T, g *graph.Graph) *gio.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.adj")
+	if err := gio.WriteGraphSorted(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := gio.Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func greedySet(t *testing.T, f *gio.File) []bool {
+	t.Helper()
+	r, err := core.Greedy(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.InSet
+}
+
+// effectiveGraph reconstructs the maintainer's current graph in memory as a
+// reference for cross-checking.
+type effectiveGraph struct {
+	n     int
+	edges map[uint64]bool
+}
+
+func newEffective(g *graph.Graph) *effectiveGraph {
+	e := &effectiveGraph{n: g.NumVertices(), edges: map[uint64]bool{}}
+	g.Edges(func(u, v uint32) bool {
+		e.edges[edgeKey(u, v)] = true
+		return true
+	})
+	return e
+}
+
+func (e *effectiveGraph) insert(u, v uint32) { e.edges[edgeKey(u, v)] = true }
+func (e *effectiveGraph) remove(u, v uint32) { delete(e.edges, edgeKey(u, v)) }
+
+func (e *effectiveGraph) independent(in []bool) bool {
+	for k := range e.edges {
+		u, v := uint32(k>>32), uint32(k&0xffffffff)
+		if in[u] && in[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *effectiveGraph) maximal(in []bool) bool {
+	blocked := make([]bool, e.n)
+	for k := range e.edges {
+		u, v := uint32(k>>32), uint32(k&0xffffffff)
+		if in[u] {
+			blocked[v] = true
+		}
+		if in[v] {
+			blocked[u] = true
+		}
+	}
+	for v := 0; v < e.n; v++ {
+		if !in[v] && !blocked[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertEvicts(t *testing.T) {
+	g := plrg.Path(4) // 0-1-2-3; greedy set {0, 2} or similar
+	f := openGraph(t, g)
+	m, err := New(f, greedySet(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Force an intra-set edge.
+	var members []uint32
+	for v, in := range m.Set() {
+		if in {
+			members = append(members, uint32(v))
+		}
+	}
+	if len(members) < 2 {
+		t.Fatalf("set too small: %v", members)
+	}
+	before := m.Size()
+	if err := m.InsertEdge(members[0], members[1]); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != before-1 {
+		t.Fatalf("size %d after eviction, want %d", m.Size(), before-1)
+	}
+	if m.Evictions() != 1 || !m.Dirty() {
+		t.Fatal("eviction accounting wrong")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	f := openGraph(t, plrg.Path(3))
+	m, err := New(f, make([]bool, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := m.InsertEdge(0, 99); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := m.DeleteEdge(1, 1); err == nil {
+		t.Fatal("self-loop delete accepted")
+	}
+}
+
+func TestDeleteThenRepairAdds(t *testing.T) {
+	// Star: center 0 with 4 leaves; greedy picks the leaves. Delete all
+	// center edges → the center becomes addable after Repair.
+	g := plrg.Star(4)
+	f := openGraph(t, g)
+	m, err := New(f, greedySet(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains(0) {
+		t.Fatal("center should start outside the set")
+	}
+	for leaf := uint32(1); leaf <= 4; leaf++ {
+		if err := m.DeleteEdge(0, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Dirty() {
+		t.Fatal("deletions must mark dirty")
+	}
+	added, err := m.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || !m.Contains(0) {
+		t.Fatalf("repair added %d (contains0=%v), want the center", added, m.Contains(0))
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReinsertDeletedEdge(t *testing.T) {
+	f := openGraph(t, plrg.Path(3)) // 0-1-2
+	m, err := New(f, greedySet(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	// 0-1-2 path restored: a maximal independent set has ≤ 2 vertices and
+	// never both ends of an edge.
+	if m.Size() > 2 {
+		t.Fatalf("size %d impossible on a 3-path", m.Size())
+	}
+}
+
+func TestRandomUpdateStream(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := plrg.ErdosRenyi(60, 120, seed)
+		f := openGraph(t, base)
+		m, err := New(f, greedySet(t, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newEffective(base)
+		for step := 0; step < 300; step++ {
+			u := uint32(rng.Intn(60))
+			v := uint32(rng.Intn(60))
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				if err := m.InsertEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				ref.insert(u, v)
+			} else {
+				if err := m.DeleteEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				ref.remove(u, v)
+			}
+			// Invariant 1 holds after every update.
+			if !ref.independent(m.Set()) {
+				t.Fatalf("seed %d step %d: set not independent", seed, step)
+			}
+			if step%50 == 49 {
+				if _, err := m.Repair(); err != nil {
+					t.Fatal(err)
+				}
+				if !ref.independent(m.Set()) {
+					t.Fatalf("seed %d step %d: not independent after repair", seed, step)
+				}
+				if !ref.maximal(m.Set()) {
+					t.Fatalf("seed %d step %d: not maximal after repair", seed, step)
+				}
+				if err := m.Verify(); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			}
+		}
+	}
+}
+
+func TestMaterializeMatchesEffective(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := plrg.ErdosRenyi(50, 100, 7)
+	f := openGraph(t, base)
+	m, err := New(f, greedySet(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newEffective(base)
+	for step := 0; step < 120; step++ {
+		u := uint32(rng.Intn(50))
+		v := uint32(rng.Intn(50))
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			m.InsertEdge(u, v)
+			ref.insert(u, v)
+		} else {
+			m.DeleteEdge(u, v)
+			ref.remove(u, v)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "mat.adj")
+	if err := m.Materialize(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gio.LoadGraph(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != len(ref.edges) {
+		t.Fatalf("materialized %d edges, want %d", got.NumEdges(), len(ref.edges))
+	}
+	for k := range ref.edges {
+		u, v := uint32(k>>32), uint32(k&0xffffffff)
+		if !got.HasEdge(u, v) {
+			t.Fatalf("edge {%d,%d} missing after materialize", u, v)
+		}
+	}
+	// The materialized file feeds the full pipeline.
+	mf, err := gio.Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	r, err := core.Greedy(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyIndependent(mf, r.InSet); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaAccounting(t *testing.T) {
+	f := openGraph(t, plrg.Path(10))
+	m, err := New(f, make([]bool, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InsertEdge(0, 5)
+	m.InsertEdge(0, 5) // duplicate: no growth
+	if m.DeltaEdges() != 1 {
+		t.Fatalf("delta = %d, want 1", m.DeltaEdges())
+	}
+	m.DeleteEdge(0, 5) // removes the added edge, leaves a tombstone
+	if m.DeltaEdges() != 1 {
+		t.Fatalf("delta = %d after delete, want 1 (tombstone)", m.DeltaEdges())
+	}
+}

@@ -1,0 +1,263 @@
+// Package extpq implements an external-memory priority queue over uint64
+// keys: a bounded in-memory heap that spills sorted runs to disk and merges
+// run heads on demand. It is the substrate for the time-forward-processing
+// maximal independent set baseline (the paper's "STXXL" competitor, after
+// Zeh's deterministic external algorithm), whose I/O cost is O(sort(|E|)).
+//
+// All disk access is sequential: spills write a run front to back, and pops
+// advance each run's buffered cursor monotonically.
+package extpq
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DefaultMemoryCapacity is the default number of keys held in memory before
+// a spill.
+const DefaultMemoryCapacity = 1 << 20
+
+// Options configure a queue.
+type Options struct {
+	// MemoryCapacity is the maximum number of keys buffered in memory;
+	// ≤ 0 selects DefaultMemoryCapacity.
+	MemoryCapacity int
+	// Dir receives spill files; empty selects the OS temp directory.
+	Dir string
+	// BlockSize is the buffered I/O size for runs; ≤ 0 selects 256 KiB.
+	BlockSize int
+}
+
+// PQ is an external priority queue of uint64 keys with duplicates allowed.
+// It is not safe for concurrent use.
+type PQ struct {
+	opts   Options
+	mem    keyHeap
+	runs   []*run
+	heads  headHeap
+	length int
+	spills int
+	closed bool
+}
+
+// New returns an empty queue.
+func New(opts Options) *PQ {
+	if opts.MemoryCapacity <= 0 {
+		opts.MemoryCapacity = DefaultMemoryCapacity
+	}
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = 256 * 1024
+	}
+	return &PQ{opts: opts}
+}
+
+// Len returns the number of keys in the queue.
+func (q *PQ) Len() int { return q.length }
+
+// Spills returns how many sorted runs have been written to disk.
+func (q *PQ) Spills() int { return q.spills }
+
+// Push inserts a key, spilling the in-memory buffer to a sorted disk run if
+// it is full.
+func (q *PQ) Push(key uint64) error {
+	if q.closed {
+		return fmt.Errorf("extpq: push on closed queue")
+	}
+	if len(q.mem) >= q.opts.MemoryCapacity {
+		if err := q.spill(); err != nil {
+			return err
+		}
+	}
+	heap.Push(&q.mem, key)
+	q.length++
+	return nil
+}
+
+// Min returns the smallest key without removing it. ok is false when the
+// queue is empty.
+func (q *PQ) Min() (key uint64, ok bool, err error) {
+	if q.length == 0 {
+		return 0, false, nil
+	}
+	if err := q.fillHeads(); err != nil {
+		return 0, false, err
+	}
+	best, have := uint64(0), false
+	if len(q.mem) > 0 {
+		best, have = q.mem[0], true
+	}
+	if len(q.heads) > 0 && (!have || q.heads[0].key < best) {
+		best = q.heads[0].key
+	}
+	return best, true, nil
+}
+
+// Pop removes and returns the smallest key. ok is false when the queue is
+// empty.
+func (q *PQ) Pop() (key uint64, ok bool, err error) {
+	if q.length == 0 {
+		return 0, false, nil
+	}
+	if err := q.fillHeads(); err != nil {
+		return 0, false, err
+	}
+	useMem := len(q.mem) > 0
+	if useMem && len(q.heads) > 0 && q.heads[0].key < q.mem[0] {
+		useMem = false
+	}
+	if useMem {
+		key = heap.Pop(&q.mem).(uint64)
+	} else {
+		h := q.heads[0]
+		key = h.key
+		next, eof, rerr := h.run.next()
+		if rerr != nil {
+			return 0, false, rerr
+		}
+		if eof {
+			heap.Pop(&q.heads)
+			h.run.discard()
+		} else {
+			q.heads[0].key = next
+			heap.Fix(&q.heads, 0)
+		}
+	}
+	q.length--
+	return key, true, nil
+}
+
+// Close removes all spill files. The queue is unusable afterwards.
+func (q *PQ) Close() error {
+	q.closed = true
+	var first error
+	for _, r := range q.runs {
+		if err := r.discard(); err != nil && first == nil {
+			first = err
+		}
+	}
+	q.runs = nil
+	q.heads = nil
+	q.mem = nil
+	q.length = 0
+	return first
+}
+
+func (q *PQ) spill() error {
+	keys := make([]uint64, len(q.mem))
+	copy(keys, q.mem)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	f, err := os.CreateTemp(q.opts.Dir, "extpq-run-*.bin")
+	if err != nil {
+		return fmt.Errorf("extpq: spill: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, q.opts.BlockSize)
+	var buf [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[:], k)
+		if _, err := bw.Write(buf[:]); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return fmt.Errorf("extpq: spill write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("extpq: spill flush: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("extpq: spill rewind: %w", err)
+	}
+	r := &run{f: f, br: bufio.NewReaderSize(f, q.opts.BlockSize), remaining: len(keys)}
+	q.runs = append(q.runs, r)
+	q.spills++
+	// The new run's head joins the merge heap.
+	first, eof, err := r.next()
+	if err != nil {
+		return err
+	}
+	if !eof {
+		heap.Push(&q.heads, head{key: first, run: r})
+	}
+	q.mem = q.mem[:0]
+	return nil
+}
+
+// fillHeads is a hook point kept for symmetry; run heads are loaded eagerly
+// at spill time, so there is nothing to do.
+func (q *PQ) fillHeads() error { return nil }
+
+type run struct {
+	f         *os.File
+	br        *bufio.Reader
+	remaining int
+	removed   bool
+}
+
+func (r *run) next() (key uint64, eof bool, err error) {
+	if r.remaining == 0 {
+		return 0, true, nil
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+		return 0, false, fmt.Errorf("extpq: run read: %w", err)
+	}
+	r.remaining--
+	return binary.LittleEndian.Uint64(buf[:]), false, nil
+}
+
+func (r *run) discard() error {
+	if r.removed {
+		return nil
+	}
+	r.removed = true
+	name := r.f.Name()
+	err := r.f.Close()
+	if rmErr := os.Remove(filepath.Clean(name)); rmErr != nil && err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// keyHeap is a min-heap of keys.
+type keyHeap []uint64
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	k := old[n-1]
+	*h = old[:n-1]
+	return k
+}
+
+// head is the smallest unread key of one run.
+type head struct {
+	key uint64
+	run *run
+}
+
+type headHeap []head
+
+func (h headHeap) Len() int            { return len(h) }
+func (h headHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h headHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *headHeap) Push(x interface{}) { *h = append(*h, x.(head)) }
+func (h *headHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

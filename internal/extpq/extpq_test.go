@@ -1,0 +1,162 @@
+package extpq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOrder(t *testing.T) {
+	q := New(Options{MemoryCapacity: 4, Dir: t.TempDir()})
+	defer q.Close()
+	keys := []uint64{5, 3, 9, 1, 7, 3, 8, 0, 2, 6}
+	for _, k := range keys {
+		if err := q.Push(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != len(keys) {
+		t.Fatalf("len = %d, want %d", q.Len(), len(keys))
+	}
+	if q.Spills() == 0 {
+		t.Fatal("expected spills with capacity 4")
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		got, ok, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		if got != want {
+			t.Fatalf("pop %d: got %d, want %d", i, got, want)
+		}
+	}
+	if _, ok, _ := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestMinPeek(t *testing.T) {
+	q := New(Options{MemoryCapacity: 2, Dir: t.TempDir()})
+	defer q.Close()
+	for _, k := range []uint64{4, 2, 8, 1} {
+		if err := q.Push(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, ok, err := q.Min()
+	if err != nil || !ok || min != 1 {
+		t.Fatalf("min = %d ok=%v err=%v, want 1", min, ok, err)
+	}
+	if q.Len() != 4 {
+		t.Fatal("Min must not remove")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	q := New(Options{Dir: t.TempDir()})
+	defer q.Close()
+	if _, ok, _ := q.Min(); ok {
+		t.Fatal("empty Min reported ok")
+	}
+	if _, ok, _ := q.Pop(); ok {
+		t.Fatal("empty Pop reported ok")
+	}
+}
+
+func TestPushAfterClose(t *testing.T) {
+	q := New(Options{Dir: t.TempDir()})
+	q.Close()
+	if err := q.Push(1); err == nil {
+		t.Fatal("expected error pushing to closed queue")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	// Time-forward usage: pops interleave with pushes of larger keys.
+	q := New(Options{MemoryCapacity: 8, Dir: t.TempDir()})
+	defer q.Close()
+	rng := rand.New(rand.NewSource(42))
+	inFlight := 0
+	last := uint64(0)
+	for step := uint64(0); step < 2000; step++ {
+		for i := 0; i < rng.Intn(3); i++ {
+			if err := q.Push(step + 1 + uint64(rng.Intn(50))); err != nil {
+				t.Fatal(err)
+			}
+			inFlight++
+		}
+		for {
+			k, ok, err := q.Min()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || k > step {
+				break
+			}
+			got, _, err := q.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < last {
+				t.Fatalf("pop order violated: %d after %d", got, last)
+			}
+			last = got
+			inFlight--
+		}
+	}
+	if q.Len() != inFlight {
+		t.Fatalf("len = %d, want %d", q.Len(), inFlight)
+	}
+}
+
+func TestRandomAgainstReference(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := New(Options{MemoryCapacity: int(capRaw%16) + 1, Dir: t.TempDir()})
+		defer q.Close()
+		var ref []uint64
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) == 0 && len(ref) > 0 {
+				// Pop and compare with reference min.
+				sort.Slice(ref, func(a, b int) bool { return ref[a] < ref[b] })
+				got, ok, err := q.Pop()
+				if err != nil || !ok || got != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			} else {
+				k := uint64(rng.Intn(1000))
+				if err := q.Push(k); err != nil {
+					return false
+				}
+				ref = append(ref, k)
+			}
+		}
+		return q.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	q := New(Options{MemoryCapacity: 3, Dir: t.TempDir()})
+	defer q.Close()
+	for i := 0; i < 20; i++ {
+		if err := q.Push(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		k, ok, err := q.Pop()
+		if err != nil || !ok || k != 7 {
+			t.Fatalf("pop %d: %d %v %v", i, k, ok, err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package extsort implements the preprocessing phase of the paper's Greedy
+// algorithm (Section 4.1): rewriting an adjacency file so that vertex
+// records appear in ascending order of degree, using external merge sort
+// with a bounded in-memory buffer.
+//
+// The sort proceeds in the classical two stages: sequential run generation
+// (fill a memory budget with records, sort, spill a sorted run) followed by
+// a multi-way merge of the runs. Both stages only read and write
+// sequentially, matching the paper's I/O cost
+// (|V|+|E|)/B · (log_{M/B}(|V|/B) + 2).
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/gio"
+)
+
+// DefaultMemoryBudget bounds the bytes of adjacency records buffered in
+// memory during run generation when the caller does not specify a budget.
+const DefaultMemoryBudget = 64 * 1024 * 1024
+
+// Options configure SortByDegree.
+type Options struct {
+	// MemoryBudget is the maximum bytes of record data held in memory during
+	// run generation. ≤ 0 selects DefaultMemoryBudget.
+	MemoryBudget int
+	// BlockSize is the I/O buffer size; ≤ 0 selects gio.DefaultBlockSize.
+	BlockSize int
+	// TempDir receives intermediate run files; empty selects the destination
+	// file's directory.
+	TempDir string
+	// Stats receives I/O accounting; may be nil.
+	Stats *gio.Stats
+	// MaxFanIn bounds the number of runs merged at once (multiple merge
+	// passes happen above it). ≤ 0 selects 64.
+	MaxFanIn int
+}
+
+type record struct {
+	id        uint32
+	deg       uint32
+	neighbors []uint32
+}
+
+// SortByDegree reads the adjacency file at src and writes a new file at dst
+// whose records are in ascending (degree, id) order and whose neighbor lists
+// are ordered by ascending neighbor degree (ID tiebreak). It keeps only
+// O(|V|) state (the degree array) plus the configured memory budget.
+func SortByDegree(src, dst string, opts Options) error {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = DefaultMemoryBudget
+	}
+	if opts.MaxFanIn <= 0 {
+		opts.MaxFanIn = 64
+	}
+	in, err := gio.Open(src, opts.BlockSize, opts.Stats)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	// Pass 1: degrees of all vertices (needed to order neighbor lists).
+	deg, err := gio.ReadDegrees(in)
+	if err != nil {
+		return err
+	}
+
+	tempDir := opts.TempDir
+	if tempDir == "" {
+		tempDir = filepath.Dir(dst)
+	}
+
+	// Pass 2: run generation.
+	runs, err := generateRuns(in, deg, tempDir, opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, r := range runs {
+			os.Remove(r)
+		}
+	}()
+
+	// Merge passes until the fan-in fits; the last merge writes the final
+	// gio adjacency file.
+	level := 0
+	for len(runs) > opts.MaxFanIn {
+		var next []string
+		for i := 0; i < len(runs); i += opts.MaxFanIn {
+			end := i + opts.MaxFanIn
+			if end > len(runs) {
+				end = len(runs)
+			}
+			out := filepath.Join(tempDir, fmt.Sprintf("extsort-l%d-%d.run", level, i))
+			if err := mergeToRun(runs[i:end], out, opts); err != nil {
+				return err
+			}
+			for _, r := range runs[i:end] {
+				os.Remove(r)
+			}
+			next = append(next, out)
+		}
+		runs = next
+		level++
+	}
+	return mergeToFinal(runs, dst, opts)
+}
+
+func generateRuns(in *gio.File, deg []uint32, tempDir string, opts Options) ([]string, error) {
+	var (
+		runs    []string
+		batch   []record
+		pending int
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		sortBatch(batch)
+		path := filepath.Join(tempDir, fmt.Sprintf("extsort-run-%d.run", len(runs)))
+		w, err := newRunWriter(path, opts.BlockSize)
+		if err != nil {
+			return err
+		}
+		for _, r := range batch {
+			sortNeighbors(r.neighbors, deg)
+			if err := w.append(r.id, r.neighbors); err != nil {
+				w.close()
+				return err
+			}
+		}
+		if err := w.close(); err != nil {
+			return err
+		}
+		runs = append(runs, path)
+		batch = batch[:0]
+		pending = 0
+		return nil
+	}
+
+	sc, err := in.Scan()
+	if err != nil {
+		return nil, err
+	}
+	for sc.Next() {
+		r := sc.Record()
+		ns := make([]uint32, len(r.Neighbors))
+		copy(ns, r.Neighbors)
+		batch = append(batch, record{id: r.ID, deg: uint32(len(ns)), neighbors: ns})
+		pending += 8 + 4*len(ns)
+		if pending >= opts.MemoryBudget {
+			if err := flush(); err != nil {
+				return runs, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return runs, err
+	}
+	if err := flush(); err != nil {
+		return runs, err
+	}
+	if len(runs) == 0 {
+		// Empty input still yields one empty run so the merge produces a
+		// valid (empty) output file.
+		path := filepath.Join(tempDir, "extsort-run-0.run")
+		w, err := newRunWriter(path, opts.BlockSize)
+		if err != nil {
+			return runs, err
+		}
+		if err := w.close(); err != nil {
+			return runs, err
+		}
+		runs = append(runs, path)
+	}
+	return runs, nil
+}
+
+func sortBatch(batch []record) {
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].deg != batch[j].deg {
+			return batch[i].deg < batch[j].deg
+		}
+		return batch[i].id < batch[j].id
+	})
+}
+
+func sortNeighbors(ns []uint32, deg []uint32) {
+	sort.Slice(ns, func(i, j int) bool {
+		di, dj := deg[ns[i]], deg[ns[j]]
+		if di != dj {
+			return di < dj
+		}
+		return ns[i] < ns[j]
+	})
+}
+
+// mergeItem is the head record of one run during a k-way merge.
+type mergeItem struct {
+	id  uint32
+	deg uint32
+	ns  []uint32
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].deg != h[j].deg {
+		return h[i].deg < h[j].deg
+	}
+	return h[i].id < h[j].id
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// mergeRuns k-way merges sorted run files, handing each record in
+// (degree, id) order to emit.
+func mergeRuns(runs []string, opts Options, emit func(id uint32, ns []uint32) error) error {
+	readers := make([]*runReader, len(runs))
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.close()
+			}
+		}
+	}()
+	h := make(mergeHeap, 0, len(runs))
+	advance := func(src int) (mergeItem, bool, error) {
+		id, ns, done, err := readers[src].next()
+		if err != nil || done {
+			return mergeItem{}, done, err
+		}
+		cp := make([]uint32, len(ns))
+		copy(cp, ns)
+		return mergeItem{id: id, deg: uint32(len(cp)), ns: cp, src: src}, false, nil
+	}
+	for i, path := range runs {
+		r, err := newRunReader(path, opts.BlockSize)
+		if err != nil {
+			return err
+		}
+		readers[i] = r
+		it, done, err := advance(i)
+		if err != nil {
+			return err
+		}
+		if !done {
+			h = append(h, it)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := h[0]
+		if err := emit(it.id, it.ns); err != nil {
+			return err
+		}
+		next, done, err := advance(it.src)
+		if err != nil {
+			return err
+		}
+		if done {
+			heap.Pop(&h)
+		} else {
+			h[0] = next
+			heap.Fix(&h, 0)
+		}
+	}
+	return nil
+}
+
+// mergeToRun merges runs into another intermediate run file.
+func mergeToRun(runs []string, out string, opts Options) error {
+	w, err := newRunWriter(out, opts.BlockSize)
+	if err != nil {
+		return err
+	}
+	if err := mergeRuns(runs, opts, w.append); err != nil {
+		w.close()
+		return err
+	}
+	return w.close()
+}
+
+// mergeToFinal merges runs into the final degree-sorted adjacency file.
+func mergeToFinal(runs []string, dst string, opts Options) error {
+	w, err := gio.NewWriter(dst, gio.FlagDegreeSorted, opts.BlockSize, opts.Stats)
+	if err != nil {
+		return err
+	}
+	if err := mergeRuns(runs, opts, w.Append); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

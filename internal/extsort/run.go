@@ -1,0 +1,100 @@
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Intermediate runs use a raw, EOF-terminated record stream rather than the
+// gio adjacency format: a run holds an arbitrary subset of a graph's
+// vertices, so gio's header-driven record count and ID validation do not
+// apply to it.
+
+type runWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	buf [8]byte
+}
+
+func newRunWriter(path string, blockSize int) (*runWriter, error) {
+	if blockSize <= 0 {
+		blockSize = 256 * 1024
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: create run %s: %w", path, err)
+	}
+	return &runWriter{f: f, bw: bufio.NewWriterSize(f, blockSize)}, nil
+}
+
+func (w *runWriter) append(id uint32, neighbors []uint32) error {
+	binary.LittleEndian.PutUint32(w.buf[0:], id)
+	binary.LittleEndian.PutUint32(w.buf[4:], uint32(len(neighbors)))
+	if _, err := w.bw.Write(w.buf[:8]); err != nil {
+		return err
+	}
+	for _, n := range neighbors {
+		binary.LittleEndian.PutUint32(w.buf[:4], n)
+		if _, err := w.bw.Write(w.buf[:4]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *runWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+type runReader struct {
+	f    *os.File
+	br   *bufio.Reader
+	ns   []uint32
+	buf  [8]byte
+	path string
+}
+
+func newRunReader(path string, blockSize int) (*runReader, error) {
+	if blockSize <= 0 {
+		blockSize = 256 * 1024
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: open run %s: %w", path, err)
+	}
+	return &runReader{f: f, br: bufio.NewReaderSize(f, blockSize), path: path}, nil
+}
+
+// next returns the next record, or done=true at end of run. The returned
+// neighbor slice is reused by subsequent calls.
+func (r *runReader) next() (id uint32, neighbors []uint32, done bool, err error) {
+	if _, err := io.ReadFull(r.br, r.buf[:8]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, true, nil
+		}
+		return 0, nil, false, fmt.Errorf("extsort: run %s: %w", r.path, err)
+	}
+	id = binary.LittleEndian.Uint32(r.buf[0:])
+	deg := binary.LittleEndian.Uint32(r.buf[4:])
+	if cap(r.ns) < int(deg) {
+		r.ns = make([]uint32, deg, deg*2)
+	}
+	r.ns = r.ns[:deg]
+	for i := range r.ns {
+		if _, err := io.ReadFull(r.br, r.buf[:4]); err != nil {
+			return 0, nil, false, fmt.Errorf("extsort: run %s truncated: %w", r.path, err)
+		}
+		r.ns[i] = binary.LittleEndian.Uint32(r.buf[:4])
+	}
+	return id, r.ns, false, nil
+}
+
+func (r *runReader) close() error { return r.f.Close() }

@@ -1,0 +1,394 @@
+package gio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "g.adj")
+}
+
+func randomGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := randomGraph(1, 50, 120)
+	path := tmpPath(t)
+	var stats Stats
+	if err := WriteGraph(path, g, nil, 0, &stats); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGraph(path, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			back.NumVertices(), back.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(uint32(v)) != back.Degree(uint32(v)) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for _, u := range g.Neighbors(uint32(v)) {
+			if !back.HasEdge(uint32(v), u) {
+				t.Fatalf("edge {%d,%d} lost", v, u)
+			}
+		}
+	}
+	if stats.BytesWritten == 0 || stats.BytesRead == 0 {
+		t.Fatal("stats not accumulated")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		g := randomGraph(seed, n, int(mRaw))
+		dir, err := os.MkdirTemp("", "gio")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "g.adj")
+		if err := WriteGraphSorted(path, g, nil); err != nil {
+			return false
+		}
+		back, err := LoadGraph(path, nil)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(u, v uint32) bool {
+			if !back.HasEdge(u, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeSortedOrder(t *testing.T) {
+	g := randomGraph(2, 80, 200)
+	path := tmpPath(t)
+	if err := WriteGraphSorted(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.Header().DegreeSorted() {
+		t.Fatal("degree-sorted flag missing")
+	}
+	prev := -1
+	err = f.ForEach(func(r Record) error {
+		d := len(r.Neighbors)
+		if d < prev {
+			t.Fatalf("degree order violated: %d after %d", d, prev)
+		}
+		prev = d
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborListsSortedByDegree(t *testing.T) {
+	g := randomGraph(3, 60, 150)
+	path := tmpPath(t)
+	if err := WriteGraphSorted(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	err = f.ForEach(func(r Record) error {
+		for i := 1; i < len(r.Neighbors); i++ {
+			if g.Degree(r.Neighbors[i-1]) > g.Degree(r.Neighbors[i]) {
+				t.Fatalf("vertex %d: neighbor degrees out of order", r.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanCounting(t *testing.T) {
+	g := randomGraph(4, 30, 60)
+	path := tmpPath(t)
+	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	f, err := Open(path, 0, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.ForEach(func(Record) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats.Scans != 3 {
+		t.Fatalf("scans = %d, want 3", stats.Scans)
+	}
+	if stats.RecordsRead != uint64(3*g.NumVertices()) {
+		t.Fatalf("records = %d, want %d", stats.RecordsRead, 3*g.NumVertices())
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file.
+	if _, err := Open(filepath.Join(dir, "missing.adj"), 0, nil); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+
+	// Bad magic.
+	bad := filepath.Join(dir, "bad.adj")
+	if err := os.WriteFile(bad, bytes.Repeat([]byte{0xAB}, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad, 0, nil); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("bad magic: got %v, want ErrBadFormat", err)
+	}
+
+	// Truncated header.
+	short := filepath.Join(dir, "short.adj")
+	if err := os.WriteFile(short, []byte(Magic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short, 0, nil); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("short header: got %v, want ErrBadFormat", err)
+	}
+
+	// Unsupported version.
+	ver := filepath.Join(dir, "ver.adj")
+	buf := make([]byte, HeaderSize)
+	copy(buf, Magic)
+	binary.LittleEndian.PutUint32(buf[8:], 99)
+	if err := os.WriteFile(ver, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(ver, 0, nil); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("bad version: got %v, want ErrBadFormat", err)
+	}
+}
+
+func TestTruncatedRecords(t *testing.T) {
+	g := randomGraph(5, 20, 50)
+	path := tmpPath(t)
+	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.adj")
+	if err := os.WriteFile(trunc, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(trunc, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	err = f.ForEach(func(Record) error { return nil })
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated records: got %v, want ErrBadFormat", err)
+	}
+}
+
+func TestCorruptDegree(t *testing.T) {
+	// A record claiming an impossible degree must fail cleanly, not OOM.
+	path := tmpPath(t)
+	w, err := NewWriter(path, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []uint32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the first record's degree field with a huge value.
+	binary.LittleEndian.PutUint32(data[HeaderSize+4:], 1<<30)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	err = f.ForEach(func(Record) error { return nil })
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("corrupt degree: got %v, want ErrBadFormat", err)
+	}
+}
+
+func TestEdgeListText(t *testing.T) {
+	src := `# comment
+0 1
+1 2
+% another comment
+
+2 3
+3 0
+`
+	g, err := ReadEdgeListText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("parsed %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeListText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeListText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("text round trip: %d vs %d edges", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeListText(strings.NewReader("0\n")); err == nil {
+		t.Fatal("expected error for one-field line")
+	}
+	if _, err := ReadEdgeListText(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("expected error for non-numeric field")
+	}
+	if _, err := ReadEdgeListText(strings.NewReader("-1 2\n")); err == nil {
+		t.Fatal("expected error for negative id")
+	}
+}
+
+func TestImportEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(src, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "g.adj")
+	if err := ImportEdgeListFile(src, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(dst, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.NumVertices() != 3 || f.NumEdges() != 3 {
+		t.Fatalf("import: %d vertices, %d edges", f.NumVertices(), f.NumEdges())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		0:          "0B",
+		512:        "512B",
+		1024:       "1.0KB",
+		1536:       "1.5KB",
+		1 << 20:    "1.0MB",
+		5 << 30:    "5.0GB",
+		3 << 40:    "3.0TB",
+		1234567890: "1.1GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReadDegrees(t *testing.T) {
+	g := randomGraph(6, 25, 60)
+	path := tmpPath(t)
+	if err := WriteGraphSorted(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	deg, err := ReadDegrees(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if int(deg[v]) != g.Degree(uint32(v)) {
+			t.Fatalf("vertex %d: degree %d, want %d", v, deg[v], g.Degree(uint32(v)))
+		}
+	}
+}
+
+func TestEmptyGraphFile(t *testing.T) {
+	path := tmpPath(t)
+	if err := WriteGraph(path, graph.NewBuilder(0).Build(), nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.NumVertices() != 0 || f.NumEdges() != 0 {
+		t.Fatal("empty graph header wrong")
+	}
+	count := 0
+	if err := f.ForEach(func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("empty file yielded %d records", count)
+	}
+}

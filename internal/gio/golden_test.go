@@ -1,0 +1,90 @@
+package gio
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestGoldenFormat pins the on-disk encoding byte for byte. If this test
+// breaks, the file format changed: either revert the change or bump the
+// format version — silently breaking every existing adjacency file is not
+// an option for a storage library.
+func TestGoldenFormat(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})
+	path := filepath.Join(t.TempDir(), "golden.adj")
+	// Fixed scan order 0,1,2 with neighbor lists by (degree, id).
+	if err := WriteGraph(path, g, []uint32{0, 1, 2}, FlagDegreeSorted, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "4d4953414 44a310a" + // "MISADJ1\n"
+		"01000000" + // version 1
+		"01000000" + // flags: degree-sorted
+		"0300000000000000" + // 3 vertices
+		"0200000000000000" + // 2 edges
+		"00000000" + "01000000" + "01000000" + // v0: deg 1, nbr 1
+		"01000000" + "02000000" + "00000000" + "02000000" + // v1: deg 2, nbrs 0,2
+		"02000000" + "01000000" + "01000000" // v2: deg 1, nbr 1
+	wantBytes, err := hex.DecodeString(stripSpaces(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, wantBytes) {
+		t.Fatalf("format drifted:\n got %x\nwant %x", data, wantBytes)
+	}
+}
+
+func stripSpaces(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// TestGoldenCompressedFormat pins the compressed encoding.
+func TestGoldenCompressedFormat(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})
+	path := filepath.Join(t.TempDir(), "golden.cadj")
+	w, err := NewWriter(path, FlagCompressed, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 3; v++ {
+		if err := w.Append(v, g.Neighbors(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "4d4953414 44a310a" + // magic
+		"01000000" + // version
+		"02000000" + // flags: compressed
+		"0300000000000000" + // 3 vertices
+		"0200000000000000" + // 2 edges
+		"000101" + // v0: id 0, deg 1, first nbr 1
+		"01020001" + // v1: id 1, deg 2, nbr 0, gap to 2 = 1
+		"020101" // v2: id 2, deg 1, first nbr 1
+	wantBytes, err := hex.DecodeString(stripSpaces(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, wantBytes) {
+		t.Fatalf("compressed format drifted:\n got %x\nwant %x", data, wantBytes)
+	}
+}

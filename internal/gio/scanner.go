@@ -1,0 +1,206 @@
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is an open adjacency file supporting repeated sequential scans.
+// It is the only way the semi-external algorithms touch the graph: every
+// Scan reads the file front to back with block-buffered reads and no seeks
+// other than the rewind between scans.
+type File struct {
+	f         *os.File
+	path      string
+	header    Header
+	blockSize int
+	stats     *Stats
+}
+
+// Open opens an adjacency file for scanning. stats may be nil; blockSize
+// ≤ 0 selects DefaultBlockSize.
+func Open(path string, blockSize int, stats *Stats) (*File, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gio: open %s: %w", path, err)
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: reading header: %v", ErrBadFormat, path, err)
+	}
+	h, err := decodeHeader(hdr[:])
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &File{f: f, path: path, header: h, blockSize: blockSize, stats: stats}, nil
+}
+
+// Header returns the file header.
+func (g *File) Header() Header { return g.header }
+
+// Path returns the file's path.
+func (g *File) Path() string { return g.path }
+
+// NumVertices returns the vertex count from the header.
+func (g *File) NumVertices() int { return int(g.header.Vertices) }
+
+// NumEdges returns the undirected edge count from the header.
+func (g *File) NumEdges() uint64 { return g.header.Edges }
+
+// Stats returns the shared I/O statistics, which may be nil.
+func (g *File) Stats() *Stats { return g.stats }
+
+// SizeBytes returns the on-disk size of the file.
+func (g *File) SizeBytes() (int64, error) {
+	fi, err := g.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Close closes the underlying file.
+func (g *File) Close() error { return g.f.Close() }
+
+// Record is one vertex's adjacency record as stored on disk. Neighbors is
+// only valid until the next Scanner.Next call.
+type Record struct {
+	ID        uint32
+	Neighbors []uint32
+}
+
+// Scanner iterates the records of one sequential scan.
+type Scanner struct {
+	file    *File
+	br      *bufio.Reader
+	rec     Record
+	scratch []uint32
+	buf     []byte
+	read    uint64
+	err     error
+	done    bool
+}
+
+// Scan rewinds the file and returns a Scanner over all records, counting
+// one sequential scan in the file's Stats when the scan completes.
+func (g *File) Scan() (*Scanner, error) {
+	if _, err := g.f.Seek(HeaderSize, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("gio: rewind %s: %w", g.path, err)
+	}
+	return &Scanner{
+		file: g,
+		br:   bufio.NewReaderSize(statsReader{g.f, g.stats}, g.blockSize),
+		buf:  make([]byte, 8),
+	}, nil
+}
+
+// Next advances to the next record. It returns false at end of scan or on
+// error; check Err afterwards.
+func (s *Scanner) Next() bool {
+	if s.err != nil || s.done {
+		return false
+	}
+	if s.read == s.file.header.Vertices {
+		s.done = true
+		if s.file.stats != nil {
+			s.file.stats.Scans++
+		}
+		return false
+	}
+	if s.file.header.Flags&FlagCompressed != 0 {
+		return s.nextCompressed()
+	}
+	if _, err := io.ReadFull(s.br, s.buf[:8]); err != nil {
+		s.err = fmt.Errorf("%w: %s: record %d header: %v", ErrBadFormat, s.file.path, s.read, err)
+		return false
+	}
+	id := binary.LittleEndian.Uint32(s.buf[0:])
+	deg := binary.LittleEndian.Uint32(s.buf[4:])
+	if uint64(id) >= s.file.header.Vertices {
+		s.err = fmt.Errorf("%w: %s: record %d has out-of-range id %d", ErrBadFormat, s.file.path, s.read, id)
+		return false
+	}
+	if uint64(deg) >= s.file.header.Vertices {
+		s.err = fmt.Errorf("%w: %s: vertex %d has impossible degree %d", ErrBadFormat, s.file.path, id, deg)
+		return false
+	}
+	if cap(s.scratch) < int(deg) {
+		s.scratch = make([]uint32, deg, deg*2)
+	}
+	s.scratch = s.scratch[:deg]
+	if err := readUint32s(s.br, s.scratch); err != nil {
+		s.err = fmt.Errorf("%w: %s: vertex %d neighbors: %v", ErrBadFormat, s.file.path, id, err)
+		return false
+	}
+	s.rec.ID = id
+	s.rec.Neighbors = s.scratch
+	s.read++
+	if s.file.stats != nil {
+		s.file.stats.RecordsRead++
+	}
+	return true
+}
+
+// Record returns the current record. Its Neighbors slice is reused by Next.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Err returns the first error encountered by the scan, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// readUint32s fills dst with little-endian uint32 values from r.
+func readUint32s(r io.Reader, dst []uint32) error {
+	var buf [4096]byte
+	for len(dst) > 0 {
+		chunk := len(dst) * 4
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		if _, err := io.ReadFull(r, buf[:chunk]); err != nil {
+			return err
+		}
+		for i := 0; i < chunk/4; i++ {
+			dst[i] = binary.LittleEndian.Uint32(buf[i*4:])
+		}
+		dst = dst[chunk/4:]
+	}
+	return nil
+}
+
+// ForEach runs one full sequential scan, invoking fn for every record.
+func (g *File) ForEach(fn func(Record) error) error {
+	sc, err := g.Scan()
+	if err != nil {
+		return err
+	}
+	for sc.Next() {
+		if err := fn(sc.Record()); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// statsReader counts bytes and buffered refills.
+type statsReader struct {
+	r     io.Reader
+	stats *Stats
+}
+
+func (sr statsReader) Read(p []byte) (int, error) {
+	n, err := sr.r.Read(p)
+	if sr.stats != nil {
+		sr.stats.BytesRead += uint64(n)
+		if n > 0 {
+			sr.stats.BlocksRead++
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,47 @@
+package gio
+
+import "fmt"
+
+// Stats accumulates I/O accounting across readers and writers that share it.
+// The semi-external algorithms report these numbers for the paper's Table 6
+// style measurements. Stats is not safe for concurrent use; each experiment
+// run owns one.
+type Stats struct {
+	Scans         int    // completed sequential scans of an adjacency file
+	RecordsRead   uint64 // vertex records decoded
+	BytesRead     uint64
+	BytesWritten  uint64
+	BlocksRead    uint64 // buffered refills of size ≤ block size
+	BlocksWritten uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Scans += other.Scans
+	s.RecordsRead += other.RecordsRead
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.BlocksRead += other.BlocksRead
+	s.BlocksWritten += other.BlocksWritten
+}
+
+// String formats the counters compactly.
+func (s *Stats) String() string {
+	return fmt.Sprintf("scans=%d records=%d read=%s written=%s blocks(r/w)=%d/%d",
+		s.Scans, s.RecordsRead, FormatBytes(s.BytesRead), FormatBytes(s.BytesWritten),
+		s.BlocksRead, s.BlocksWritten)
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit, e.g. "1.5MB".
+func FormatBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := uint64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%cB", float64(n)/float64(div), "KMGTPE"[exp])
+}

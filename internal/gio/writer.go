@@ -1,0 +1,129 @@
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Writer produces an adjacency file through buffered sequential writes.
+// Records must be appended in the intended scan order. Close finalizes the
+// header with the actual vertex and edge counts.
+type Writer struct {
+	f       *os.File
+	bw      *countingWriter
+	buf     []byte
+	header  Header
+	records uint64
+	degSum  uint64
+	stats   *Stats
+	err     error
+}
+
+// NewWriter creates (truncating) an adjacency file at path. flags are format
+// flags such as FlagDegreeSorted. stats may be nil.
+func NewWriter(path string, flags uint32, blockSize int, stats *Stats) (*Writer, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("gio: create %s: %w", path, err)
+	}
+	w := &Writer{
+		f:      f,
+		bw:     newCountingWriter(f, blockSize, stats),
+		buf:    make([]byte, 8),
+		header: Header{Version: 1, Flags: flags},
+		stats:  stats,
+	}
+	// Reserve header space; rewritten on Close with final counts.
+	var hdr [HeaderSize]byte
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("gio: write header: %w", err)
+	}
+	return w, nil
+}
+
+// Append writes the record for vertex id with the given neighbor list.
+// On a FlagCompressed writer the list is stored varint/delta encoded in
+// ascending ID order; otherwise it is stored verbatim.
+func (w *Writer) Append(id uint32, neighbors []uint32) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.header.Flags&FlagCompressed != 0 {
+		return w.appendCompressed(id, neighbors)
+	}
+	binary.LittleEndian.PutUint32(w.buf[0:], id)
+	binary.LittleEndian.PutUint32(w.buf[4:], uint32(len(neighbors)))
+	if _, err := w.bw.Write(w.buf[:8]); err != nil {
+		w.err = err
+		return err
+	}
+	for _, n := range neighbors {
+		binary.LittleEndian.PutUint32(w.buf[:4], n)
+		if _, err := w.bw.Write(w.buf[:4]); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	w.records++
+	w.degSum += uint64(len(neighbors))
+	return nil
+}
+
+// Close flushes buffered data, rewrites the header with final counts, and
+// closes the file.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		w.f.Close()
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("gio: flush: %w", err)
+	}
+	w.header.Vertices = w.records
+	w.header.Edges = w.degSum / 2
+	var hdr [HeaderSize]byte
+	w.header.encode(hdr[:])
+	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
+		w.f.Close()
+		return fmt.Errorf("gio: rewrite header: %w", err)
+	}
+	if w.stats != nil {
+		w.stats.BytesWritten += HeaderSize
+	}
+	return w.f.Close()
+}
+
+// countingWriter is a bufio.Writer that counts bytes and flushes (blocks)
+// into Stats.
+type countingWriter struct {
+	*bufio.Writer
+	stats *Stats
+}
+
+func newCountingWriter(w io.Writer, blockSize int, stats *Stats) *countingWriter {
+	cw := &countingWriter{stats: stats}
+	cw.Writer = bufio.NewWriterSize(statsWriter{w, stats}, blockSize)
+	return cw
+}
+
+type statsWriter struct {
+	w     io.Writer
+	stats *Stats
+}
+
+func (sw statsWriter) Write(p []byte) (int, error) {
+	n, err := sw.w.Write(p)
+	if sw.stats != nil {
+		sw.stats.BytesWritten += uint64(n)
+		sw.stats.BlocksWritten++
+	}
+	return n, err
+}

@@ -1,0 +1,235 @@
+// Package graph provides a compact in-memory representation of simple
+// undirected graphs in compressed sparse row (CSR) form, together with a
+// builder that deduplicates edges and drops self-loops.
+//
+// The semi-external algorithms in internal/core never load a whole graph
+// through this package; it exists for graph construction (generators,
+// converters), for the in-memory DynamicUpdate baseline, and for tests.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. Vertex IDs are dense: a graph with n
+// vertices uses IDs 0..n-1.
+type VertexID = uint32
+
+// Graph is an immutable simple undirected graph in CSR form. Each edge
+// {u, v} is stored twice, once in the adjacency list of each endpoint.
+type Graph struct {
+	offsets []uint64 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []VertexID
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency list of v. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the edge {u, v} exists. Adjacency lists are sorted
+// by neighbor ID, so this is a binary search over the smaller list.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// AvgDegree returns the average vertex degree, 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(g.adj)) / float64(n)
+}
+
+// MaxDegree returns the largest vertex degree, 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(VertexID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(VertexID(v))]++
+	}
+	return h
+}
+
+// Edges calls fn once for every undirected edge {u, v} with u < v.
+// It stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v VertexID) bool) {
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(VertexID(u)) {
+			if VertexID(u) < v {
+				if !fn(VertexID(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Validate checks structural invariants of the CSR representation: sorted
+// adjacency lists, no self-loops, no duplicate edges, and symmetry.
+// It is intended for tests and costs O(|V| + |E| log |E|).
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(VertexID(u))
+		for i, v := range ns {
+			if int(v) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, v)
+			}
+			if v == VertexID(u) {
+				return fmt.Errorf("graph: vertex %d has a self-loop", u)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of %d is not strictly sorted at index %d", u, i)
+			}
+			if !g.HasEdge(v, VertexID(u)) {
+				return fmt.Errorf("graph: edge {%d,%d} is not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces a Graph. Self-loops and duplicate
+// edges are silently dropped, so any edge stream yields a simple graph.
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+type edge struct{ u, v VertexID }
+
+// NewBuilder returns a builder for a graph with n vertices (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// AddEdge panics if either endpoint is out of range.
+func (b *Builder) AddEdge(u, v VertexID) {
+	if int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range for %d vertices", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// NumPendingEdges returns the number of edges recorded so far, including
+// duplicates that Build will drop.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build constructs the CSR graph. The builder may be reused afterwards; it
+// keeps its recorded edges.
+func (b *Builder) Build() *Graph {
+	es := make([]edge, len(b.edges))
+	copy(es, b.edges)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].u != es[j].u {
+			return es[i].u < es[j].u
+		}
+		return es[i].v < es[j].v
+	})
+	// Deduplicate.
+	uniq := es[:0]
+	for i, e := range es {
+		if i == 0 || e != es[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	es = uniq
+
+	deg := make([]uint64, b.n+1)
+	for _, e := range es {
+		deg[e.u+1]++
+		deg[e.v+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		deg[i] += deg[i-1]
+	}
+	adj := make([]VertexID, deg[b.n])
+	next := make([]uint64, b.n)
+	copy(next, deg[:b.n])
+	for _, e := range es {
+		adj[next[e.u]] = e.v
+		next[e.u]++
+		adj[next[e.v]] = e.u
+		next[e.v]++
+	}
+	g := &Graph{offsets: deg, adj: adj}
+	// Each list was filled in increasing order of the opposite endpoint for
+	// the u side, but the v side interleaves; sort every list once.
+	for v := 0; v < b.n; v++ {
+		ns := g.adj[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor: a graph on n vertices with the
+// given undirected edges (duplicates and self-loops dropped).
+func FromEdges(n int, edges [][2]VertexID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Subgraph returns the induced subgraph on keep (which must be sorted and
+// duplicate-free) with vertices renumbered 0..len(keep)-1, plus the mapping
+// from new IDs to original IDs.
+func (g *Graph) Subgraph(keep []VertexID) (*Graph, []VertexID) {
+	remap := make(map[VertexID]VertexID, len(keep))
+	for i, v := range keep {
+		remap[v] = VertexID(i)
+	}
+	b := NewBuilder(len(keep))
+	for _, v := range keep {
+		for _, u := range g.Neighbors(v) {
+			if nu, ok := remap[u]; ok {
+				b.AddEdge(remap[v], nu)
+			}
+		}
+	}
+	orig := make([]VertexID, len(keep))
+	copy(orig, keep)
+	return b.Build(), orig
+}

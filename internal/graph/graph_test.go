@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate (reversed)
+	b.AddEdge(1, 1) // self loop dropped
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.NumVertices() != 4 {
+		t.Fatalf("vertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 3) {
+		t.Fatal("missing expected edges")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 1) {
+		t.Fatal("unexpected edges")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestDegreesAndHistogram(t *testing.T) {
+	g := FromEdges(5, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if g.Degree(0) != 4 {
+		t.Fatalf("center degree = %d, want 4", g.Degree(0))
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if g.AvgDegree() != 8.0/5.0 {
+		t.Fatalf("avg degree = %f", g.AvgDegree())
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := FromEdges(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	var got [][2]uint32
+	g.Edges(func(u, v uint32) bool {
+		got = append(got, [2]uint32{u, v})
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("iterated %d edges, want 3", len(got))
+	}
+	for _, e := range got {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not ordered u < v", e)
+		}
+	}
+	// Early stop.
+	count := 0
+	g.Edges(func(u, v uint32) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop iterated %d edges, want 1", count)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := FromEdges(6, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	sub, orig := g.Subgraph([]uint32{0, 1, 2})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("subgraph: %d vertices, %d edges", sub.NumVertices(), sub.NumEdges())
+	}
+	if len(orig) != 3 || orig[0] != 0 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Fatal("subgraph edges wrong")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.AvgDegree() != 0 || g.MaxDegree() != 0 {
+		t.Fatal("empty graph has nonzero stats")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildProperty checks with testing/quick that Build always produces a
+// valid simple graph whose edge set matches the deduplicated input.
+func TestBuildProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%60) + 1
+		m := int(mRaw % 512)
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(n)
+		want := make(map[[2]uint32]bool)
+		for i := 0; i < m; i++ {
+			u := uint32(rng.Intn(n))
+			v := uint32(rng.Intn(n))
+			b.AddEdge(u, v)
+			if u != v {
+				if u > v {
+					u, v = v, u
+				}
+				want[[2]uint32{u, v}] = true
+			}
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		if g.NumEdges() != len(want) {
+			return false
+		}
+		for e := range want {
+			if !g.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHasEdgeProperty cross-checks HasEdge against a linear scan.
+func TestHasEdgeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				found := false
+				for _, x := range g.Neighbors(uint32(u)) {
+					if x == uint32(v) {
+						found = true
+						break
+					}
+				}
+				if found != g.HasEdge(uint32(u), uint32(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package plrg
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// BarabasiAlbert generates a preferential-attachment graph: vertices arrive
+// one at a time and attach m edges to existing vertices chosen with
+// probability proportional to their current degree. Produces power-law
+// tails with exponent ≈ 3 — a useful contrast to the configuration-model
+// P(α, β) graphs when checking that the algorithms' behaviour tracks degree
+// shape rather than one generator's artifacts.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if n <= 0 {
+		return graph.NewBuilder(0).Build()
+	}
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// endpoints holds one entry per edge endpoint; sampling uniformly from
+	// it is sampling proportional to degree.
+	endpoints := make([]uint32, 0, 2*m*n)
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	// Seed clique over the first few vertices so early targets exist.
+	for u := 0; u < start; u++ {
+		for v := u + 1; v < start; v++ {
+			b.AddEdge(uint32(u), uint32(v))
+			endpoints = append(endpoints, uint32(u), uint32(v))
+		}
+	}
+	for v := start; v < n; v++ {
+		chosen := make(map[uint32]bool, m)
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			b.AddEdge(uint32(v), t)
+			endpoints = append(endpoints, uint32(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// RMAT generates a recursive-matrix (Kronecker-style) graph with 2^scale
+// vertices and the requested number of edge samples, using the classic
+// (a, b, c, d) quadrant probabilities. Duplicate edges and self-loops are
+// dropped, so the realized edge count is lower. The standard parameters
+// (0.57, 0.19, 0.19, 0.05) mimic web/social graphs, the workloads the
+// paper's datasets come from.
+func RMAT(scale int, edges int, a, b, c float64, seed int64) *graph.Graph {
+	if scale < 0 || scale > 30 {
+		panic("plrg: RMAT scale out of range [0, 30]")
+	}
+	d := 1 - a - b - c
+	if d < 0 {
+		panic("plrg: RMAT probabilities exceed 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	builder := graph.NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		var u, v int
+		for level := 0; level < scale; level++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b: // top-right
+				v |= 1 << level
+			case r < a+b+c: // bottom-left
+				u |= 1 << level
+			default: // bottom-right
+				u |= 1 << level
+				v |= 1 << level
+			}
+		}
+		builder.AddEdge(uint32(u), uint32(v))
+	}
+	return builder.Build()
+}
+
+// RMATDefault generates an R-MAT graph with the canonical (0.57, 0.19,
+// 0.19) parameters.
+func RMATDefault(scale, edges int, seed int64) *graph.Graph {
+	return RMAT(scale, edges, 0.57, 0.19, 0.19, seed)
+}

@@ -1,0 +1,78 @@
+package plrg
+
+import "testing"
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(3000, 2, 5)
+	if g.NumVertices() != 3000 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Roughly m edges per arrival after the seed clique.
+	if g.NumEdges() < 5000 || g.NumEdges() > 7000 {
+		t.Fatalf("edges = %d, want ≈ 6000", g.NumEdges())
+	}
+	// Preferential attachment produces hubs: max degree far above average.
+	if float64(g.MaxDegree()) < 5*g.AvgDegree() {
+		t.Fatalf("max degree %d vs avg %.1f — no hubs formed", g.MaxDegree(), g.AvgDegree())
+	}
+	// Determinism.
+	h := BarabasiAlbert(3000, 2, 5)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestBarabasiAlbertDegenerate(t *testing.T) {
+	if g := BarabasiAlbert(0, 2, 1); g.NumVertices() != 0 {
+		t.Fatal("n=0 wrong")
+	}
+	if g := BarabasiAlbert(3, 5, 1); g.NumVertices() != 3 {
+		t.Fatal("m > n wrong")
+	}
+	g := BarabasiAlbert(100, 0, 1) // m clamps to 1
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMATDefault(12, 20000, 9)
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 20000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Skew: the canonical parameters concentrate edges on low IDs, so the
+	// max degree dwarfs the average.
+	if float64(g.MaxDegree()) < 8*g.AvgDegree() {
+		t.Fatalf("max degree %d vs avg %.1f — R-MAT skew missing", g.MaxDegree(), g.AvgDegree())
+	}
+	h := RMATDefault(12, 20000, 9)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RMAT(-1, 10, 0.5, 0.2, 0.2, 1) },
+		func() { RMAT(31, 10, 0.5, 0.2, 0.2, 1) },
+		func() { RMAT(4, 10, 0.6, 0.3, 0.3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

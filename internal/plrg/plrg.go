@@ -1,0 +1,203 @@
+// Package plrg generates the graphs used throughout the paper's analysis and
+// experiments: Power-Law Random graphs P(α, β) built with the
+// Aiello–Chung–Lu random-matching model of Section 2.2, the cascade-swap
+// worst case of Figure 5, the worked examples of Figures 1, 2 and 7, and a
+// few classical families (Erdős–Rényi, stars, paths, grids) used by tests.
+//
+// All randomness is driven by caller-provided seeds, so every generated
+// graph is reproducible.
+package plrg
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/theory"
+)
+
+// PowerLaw generates a simple power-law random graph with the matching
+// model: for each degree x ≤ Δ = ⌊e^{α/β}⌋ it creates ⌊e^α/x^β⌋ vertices of
+// target degree x, forms the multiset L of vertex copies, draws a uniform
+// random perfect matching of L, and keeps the resulting edges, dropping
+// self-loops and parallel edges (so realized degrees can be slightly below
+// target, as in the standard model).
+func PowerLaw(p theory.Params, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	delta := p.MaxDegree()
+	ea := math.Exp(p.Alpha)
+
+	// Degree sequence. Vertex IDs are shuffled so that ID order carries no
+	// degree information — real graph files are not degree-sorted, and the
+	// Baseline competitor's whole handicap is scanning in raw ID order.
+	var degrees []uint32
+	for x := 1; x <= delta; x++ {
+		count := int(math.Floor(ea / math.Pow(float64(x), p.Beta)))
+		for c := 0; c < count; c++ {
+			degrees = append(degrees, uint32(x))
+		}
+	}
+	n := len(degrees)
+	if n == 0 {
+		return graph.NewBuilder(0).Build()
+	}
+	rng.Shuffle(n, func(i, j int) {
+		degrees[i], degrees[j] = degrees[j], degrees[i]
+	})
+
+	// Multiset L of vertex copies.
+	var total int
+	for _, d := range degrees {
+		total += int(d)
+	}
+	copies := make([]uint32, 0, total)
+	for v, d := range degrees {
+		for c := uint32(0); c < d; c++ {
+			copies = append(copies, uint32(v))
+		}
+	}
+	rng.Shuffle(len(copies), func(i, j int) {
+		copies[i], copies[j] = copies[j], copies[i]
+	})
+
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < len(copies); i += 2 {
+		b.AddEdge(copies[i], copies[i+1])
+	}
+	return b.Build()
+}
+
+// PowerLawN generates a power-law random graph with approximately n vertices
+// and exponent beta, solving for α first.
+func PowerLawN(n int, beta float64, seed int64) *graph.Graph {
+	return PowerLaw(theory.ParamsForVertices(n, beta), seed)
+}
+
+// ErdosRenyi generates G(n, m): n vertices and m uniform random edges
+// (duplicates and loops dropped, so the realized count can be lower).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// Star returns a star with one center (vertex 0) and leaves vertices 1..k.
+func Star(k int) *graph.Graph {
+	b := graph.NewBuilder(k + 1)
+	for i := 1; i <= k; i++ {
+		b.AddEdge(0, uint32(i))
+	}
+	return b.Build()
+}
+
+// Path returns the path graph on n vertices.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(uint32(i), uint32(i+1))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(uint32(i), uint32((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(uint32(i), uint32(j))
+		}
+	}
+	return b.Build()
+}
+
+// Cascade builds the cascade-swap worst case of Figure 5 with k groups
+// (3k vertices). Group i has a center c_i = 3i and two leaves 3i+1, 3i+2;
+// the center is adjacent to its leaves, and each leaf of group i is also
+// adjacent to the center of group i+1. Starting from the independent set of
+// all centers, a one-k-swap round can only fire the last remaining group, so
+// the algorithm needs exactly k = n/3 rounds.
+func Cascade(k int) *graph.Graph {
+	b := graph.NewBuilder(3 * k)
+	for i := 0; i < k; i++ {
+		c := uint32(3 * i)
+		b.AddEdge(c, c+1)
+		b.AddEdge(c, c+2)
+		if i+1 < k {
+			next := uint32(3 * (i + 1))
+			b.AddEdge(c+1, next)
+			b.AddEdge(c+2, next)
+		}
+	}
+	return b.Build()
+}
+
+// CascadeCenters returns the initial independent set (all centers) for
+// Cascade(k).
+func CascadeCenters(k int) []uint32 {
+	centers := make([]uint32, k)
+	for i := range centers {
+		centers[i] = uint32(3 * i)
+	}
+	return centers
+}
+
+// Figure1 returns the five-vertex example of the paper's Figure 1
+// (0-indexed: v1..v5 become 0..4). {v1, v2} = {0, 1} is maximal;
+// {v2..v5} = {1, 2, 3, 4} is maximum.
+func Figure1() *graph.Graph {
+	return graph.FromEdges(5, [][2]uint32{{0, 2}, {0, 3}, {0, 4}})
+}
+
+// Figure2 returns the six-vertex swap-conflict example of Figure 2
+// (0-indexed). With the initial independent set {v1, v4} = {0, 3}, the swaps
+// v1→{v2, v3} and v4→{v5, v6} conflict through the edge {v3, v6} = {2, 5}.
+func Figure2() *graph.Graph {
+	return graph.FromEdges(6, [][2]uint32{
+		{0, 1}, {0, 2}, // v1–v2, v1–v3
+		{3, 4}, {3, 5}, // v4–v5, v4–v6
+		{2, 5}, // v3–v6: the conflict edge
+	})
+}
+
+// Figure7 returns the eight-vertex two-k-swap example of Figure 7
+// (0-indexed v1..v8 → 0..7). Vertices v2, v3 = {1, 2} can be exchanged for
+// the four vertices v4, v5, v6, v8 = {3, 4, 5, 7}; v7 = 6 conflicts.
+func Figure7() *graph.Graph {
+	return graph.FromEdges(8, [][2]uint32{
+		{1, 3}, {2, 3}, // v4 adjacent to both v2 and v3
+		{1, 4}, {2, 4}, // v5 adjacent to both
+		{1, 5}, {2, 5}, // v6 adjacent to both
+		{1, 7}, {2, 7}, // v8 adjacent to both
+		{4, 6}, {5, 6}, // v7 adjacent to v5 and v6 (the conflict)
+		{0, 6}, // v1–v7 keeps v7 out of the final set and gives v1 degree 1
+	})
+}

@@ -1,0 +1,184 @@
+package semiext
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		StateInitial: "·", StateIS: "I", StateNonIS: "N",
+		StateAdjacent: "A", StateProtected: "P", StateConflict: "C",
+		StateRetrograde: "R", State(99): "?",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}
+
+func TestStatesCollect(t *testing.T) {
+	st := NewStates(5)
+	st[1] = StateIS
+	st[3] = StateIS
+	st[4] = StateAdjacent
+	if st.CountIS() != 2 {
+		t.Fatalf("CountIS = %d", st.CountIS())
+	}
+	got := st.Collect(StateIS)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Collect = %v", got)
+	}
+	if st.MemoryBytes() != 5 {
+		t.Fatalf("MemoryBytes = %d", st.MemoryBytes())
+	}
+}
+
+func TestISNSingle(t *testing.T) {
+	isn := NewISN(10, false)
+	isn.Set(1, 5)
+	isn.Set(2, 5)
+	isn.Set(3, 7)
+	if isn.PreimageCount(5) != 2 || isn.PreimageCount(7) != 1 {
+		t.Fatal("counters wrong after Set")
+	}
+	w, _, n := isn.Get(1)
+	if n != 1 || w != 5 {
+		t.Fatalf("Get(1) = %d,%d", w, n)
+	}
+	if !isn.Has(1, 5) || isn.Has(1, 7) {
+		t.Fatal("Has wrong")
+	}
+	isn.Clear(1)
+	if isn.PreimageCount(5) != 1 {
+		t.Fatal("Clear did not decrement")
+	}
+	if _, _, n := isn.Get(1); n != 0 {
+		t.Fatal("Clear did not clear")
+	}
+	isn.Clear(1) // double clear is a no-op
+	if isn.PreimageCount(5) != 1 {
+		t.Fatal("double Clear decremented")
+	}
+}
+
+func TestISNPair(t *testing.T) {
+	isn := NewISN(10, true)
+	isn.Set(1, 4, 6)
+	// Pairs do not count as witnesses.
+	if isn.PreimageCount(4) != 0 || isn.PreimageCount(6) != 0 {
+		t.Fatal("pair Set must not bump witness counters")
+	}
+	w1, w2, n := isn.Get(1)
+	if n != 2 || w1 != 4 || w2 != 6 {
+		t.Fatalf("Get = %d,%d,%d", w1, w2, n)
+	}
+	if !isn.Has(1, 4) || !isn.Has(1, 6) || isn.Has(1, 5) {
+		t.Fatal("Has wrong for pair")
+	}
+	isn.Clear(1)
+	if _, _, n := isn.Get(1); n != 0 {
+		t.Fatal("pair Clear failed")
+	}
+	isn.Set(2, 4)
+	if isn.PreimageCount(4) != 1 {
+		t.Fatal("singleton after pair broken")
+	}
+	isn.Reset()
+	if isn.PreimageCount(4) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestISNPanics(t *testing.T) {
+	isn := NewISN(4, false)
+	mustPanic(t, func() { isn.Set(0, 1, 2) }) // pair on one-slot ISN
+	mustPanic(t, func() { isn.Set(0) })       // no neighbors
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestISNCounterProperty(t *testing.T) {
+	// The witness counter always equals the number of vertices whose ISN is
+	// exactly {w}, under any interleaving of Set/Clear.
+	f := func(ops []uint16) bool {
+		const n = 16
+		isn := NewISN(n, true)
+		arity := make(map[uint32]int)
+		target := make(map[uint32][2]uint32)
+		for _, op := range ops {
+			u := uint32(op % n)
+			w1 := uint32((op >> 4) % n)
+			w2 := uint32((op >> 8) % n)
+			switch (op >> 12) % 3 {
+			case 0: // set singleton
+				isn.Clear(u)
+				isn.Set(u, w1)
+				arity[u] = 1
+				target[u] = [2]uint32{w1, NoVertex}
+			case 1: // set pair
+				isn.Clear(u)
+				isn.Set(u, w1, w2)
+				arity[u] = 2
+				target[u] = [2]uint32{w1, w2}
+			case 2: // clear
+				isn.Clear(u)
+				arity[u] = 0
+			}
+		}
+		for w := uint32(0); w < n; w++ {
+			want := uint32(0)
+			for u := uint32(0); u < n; u++ {
+				if arity[u] == 1 && target[u][0] == w {
+					want++
+				}
+			}
+			if isn.PreimageCount(w) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCStore(t *testing.T) {
+	sc := NewSCStore()
+	sc.Add(3, 1, 10, 11)
+	sc.Add(1, 3, 12, 13) // same unordered key
+	sc.Add(2, 4, 20, 21)
+	if got := sc.Pairs(1, 3); len(got) != 2 {
+		t.Fatalf("Pairs(1,3) = %v", got)
+	}
+	if got := sc.Pairs(3, 1); len(got) != 2 {
+		t.Fatal("key must be unordered")
+	}
+	if sc.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", sc.Size())
+	}
+	if sc.HighWater() != 6 {
+		t.Fatalf("HighWater = %d", sc.HighWater())
+	}
+	sc.Free(1, 3)
+	if sc.Size() != 2 || len(sc.Pairs(1, 3)) != 0 {
+		t.Fatal("Free failed")
+	}
+	if sc.HighWater() != 6 {
+		t.Fatal("HighWater must persist past Free")
+	}
+	sc.Reset()
+	if sc.Size() != 0 || sc.HighWater() != 6 {
+		t.Fatal("Reset wrong")
+	}
+}

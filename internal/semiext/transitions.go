@@ -1,0 +1,76 @@
+package semiext
+
+import "fmt"
+
+// legalTransitions encodes the paper's Figure 3 state-transition diagram,
+// extended with the transitions the full algorithm needs around it:
+//
+//   - A→P (a 1-k/2-k swap skeleton claims the vertex), A→C (a neighbor is
+//     already P), A→A (recomputed), A→N (its IS neighborhood changed size);
+//   - P→I (the swap commits), P→C (two-k group rollback);
+//   - I→R (the vertex is scheduled to leave), R→N (it leaves), R→I
+//     (two-k rollback reinstates it);
+//   - C→{A, N, I} and N→{A, N, I} in the post-swap recomputation and 0↔1
+//     additions (C→C when re-conflicted within a round);
+//   - Initial→{IS, NonIS, A} covers Algorithm 1 and swap setup.
+//
+// The checker is deliberately permissive only where the algorithms are:
+// anything outside this relation is a state-machine bug.
+var legalTransitions = map[State][]State{
+	StateInitial:    {StateIS, StateNonIS, StateAdjacent},
+	StateIS:         {StateRetrograde},
+	StateNonIS:      {StateAdjacent, StateIS},
+	StateAdjacent:   {StateProtected, StateConflict, StateNonIS},
+	StateProtected:  {StateIS, StateConflict},
+	StateConflict:   {StateAdjacent, StateNonIS, StateIS},
+	StateRetrograde: {StateNonIS, StateIS},
+}
+
+// TransitionChecker validates that a sequence of state-array snapshots only
+// ever steps through the Figure 3 diagram. Feed it every snapshot a swap
+// run produces (e.g. from core.SwapOptions.OnPhase); it remembers the
+// previous snapshot and reports the first illegal edge.
+type TransitionChecker struct {
+	prev  []State
+	label string
+}
+
+// Check compares the snapshot against the previous one and returns an error
+// describing the first illegal transition, or nil. label annotates error
+// messages (e.g. "round 2 pre-swap").
+func (tc *TransitionChecker) Check(label string, states []State) error {
+	defer func() {
+		if cap(tc.prev) < len(states) {
+			tc.prev = make([]State, len(states))
+		}
+		tc.prev = tc.prev[:len(states)]
+		copy(tc.prev, states)
+		tc.label = label
+	}()
+	if tc.prev == nil {
+		return nil
+	}
+	if len(tc.prev) != len(states) {
+		return fmt.Errorf("semiext: snapshot size changed from %d to %d", len(tc.prev), len(states))
+	}
+	for v := range states {
+		from, to := tc.prev[v], states[v]
+		if from == to {
+			continue
+		}
+		if !transitionLegal(from, to) {
+			return fmt.Errorf("semiext: vertex %d made illegal transition %s→%s between %q and %q",
+				v, from, to, tc.label, label)
+		}
+	}
+	return nil
+}
+
+func transitionLegal(from, to State) bool {
+	for _, t := range legalTransitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}

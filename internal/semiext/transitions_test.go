@@ -1,0 +1,58 @@
+package semiext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransitionCheckerAcceptsLegal(t *testing.T) {
+	var tc TransitionChecker
+	seqs := [][]State{
+		{StateInitial, StateInitial, StateInitial},
+		{StateIS, StateAdjacent, StateNonIS},          // setup
+		{StateRetrograde, StateProtected, StateNonIS}, // pre-swap
+		{StateNonIS, StateIS, StateNonIS},             // swap
+		{StateAdjacent, StateIS, StateNonIS},          // post-swap recompute
+	}
+	for i, s := range seqs {
+		if err := tc.Check("step", s); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestTransitionCheckerRejectsIllegal(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to State
+	}{
+		{"I jumps to N without R", StateIS, StateNonIS},
+		{"P jumps back to A", StateProtected, StateAdjacent},
+		{"R becomes A", StateRetrograde, StateAdjacent},
+		{"N regresses to Initial", StateNonIS, StateInitial},
+		{"A becomes I directly", StateAdjacent, StateIS},
+	}
+	for _, c := range cases {
+		var tc TransitionChecker
+		if err := tc.Check("before", []State{c.from}); err != nil {
+			t.Fatalf("%s: priming failed: %v", c.name, err)
+		}
+		err := tc.Check("after", []State{c.to})
+		if err == nil {
+			t.Fatalf("%s: illegal transition accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), "illegal transition") {
+			t.Fatalf("%s: unexpected error %v", c.name, err)
+		}
+	}
+}
+
+func TestTransitionCheckerSizeChange(t *testing.T) {
+	var tc TransitionChecker
+	if err := tc.Check("a", []State{StateInitial}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Check("b", []State{StateInitial, StateInitial}); err == nil {
+		t.Fatal("size change accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZetaKnownValues(t *testing.T) {
+	if got := Zeta(1, 1); got != 1 {
+		t.Fatalf("ζ(1,1) = %f", got)
+	}
+	// Harmonic number H_4 = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+	if got := Zeta(1, 4); math.Abs(got-25.0/12.0) > 1e-12 {
+		t.Fatalf("ζ(1,4) = %f, want %f", got, 25.0/12.0)
+	}
+	// ζ(2, ∞) = π²/6; the partial sum at 10⁶ should be close.
+	if got := Zeta(2, 1_000_000); math.Abs(got-math.Pi*math.Pi/6) > 1e-5 {
+		t.Fatalf("ζ(2,1e6) = %f, want ≈ %f", got, math.Pi*math.Pi/6)
+	}
+}
+
+func TestZetaMonotone(t *testing.T) {
+	f := func(xRaw, yRaw uint8) bool {
+		x := 1 + float64(xRaw%30)/10 // x in [1, 3.9]
+		y := int(yRaw%100) + 2
+		return Zeta(x, y) > Zeta(x, y-1) && Zeta(x, y) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsForVertices(t *testing.T) {
+	for _, beta := range []float64{1.7, 2.0, 2.3, 2.7} {
+		for _, n := range []int{1000, 100000, 10000000} {
+			p := ParamsForVertices(n, beta)
+			got := p.NumVertices()
+			if math.Abs(got-float64(n))/float64(n) > 0.01 {
+				t.Fatalf("beta=%.1f n=%d: model gives %f vertices", beta, n, got)
+			}
+		}
+	}
+}
+
+func TestGreedyExpectationRange(t *testing.T) {
+	// Proposition 2 at the paper's scale (10M vertices): the expected
+	// greedy set must be a large fraction of |V| and decrease with beta
+	// beyond the paper's observation (Table 9's surprising finding).
+	prev := math.Inf(1)
+	for _, beta := range []float64{1.7, 1.9, 2.1, 2.3, 2.5, 2.7} {
+		p := ParamsForVertices(10_000_000, beta)
+		gr := Greedy(p)
+		if gr <= 0 || gr > p.NumVertices() {
+			t.Fatalf("beta=%.1f: GR = %f out of range", beta, gr)
+		}
+		if gr/p.NumVertices() < 0.5 {
+			t.Fatalf("beta=%.1f: GR/|V| = %f implausibly small", beta, gr/p.NumVertices())
+		}
+		if gr >= prev {
+			t.Fatalf("beta=%.1f: GR did not decrease with beta (%f after %f)", beta, gr, prev)
+		}
+		prev = gr
+	}
+}
+
+func TestGreedyByDegreeBounded(t *testing.T) {
+	p := ParamsForVertices(1_000_000, 2.0)
+	for i := 1; i <= p.MaxDegree(); i++ {
+		gri := GreedyByDegree(p, i)
+		ni := p.VerticesOfDegree(i)
+		if gri < 0 || gri > ni+1 {
+			t.Fatalf("GR_%d = %f exceeds vertex count %f", i, gri, ni)
+		}
+	}
+	if GreedyByDegree(p, p.MaxDegree()+5) != 0 {
+		t.Fatal("GR beyond max degree must be 0")
+	}
+}
+
+func TestSwapGainPositiveAndBounded(t *testing.T) {
+	for _, beta := range []float64{1.7, 2.0, 2.3, 2.7} {
+		p := ParamsForVertices(10_000_000, beta)
+		sg := SwapGain(p)
+		if sg < 0 {
+			t.Fatalf("beta=%.1f: negative swap gain %f", beta, sg)
+		}
+		if sg > 0.1*p.NumVertices() {
+			t.Fatalf("beta=%.1f: swap gain %f implausibly large", beta, sg)
+		}
+		if OneKSwap(p) < Greedy(p) {
+			t.Fatalf("beta=%.1f: one-k expectation below greedy", beta)
+		}
+	}
+}
+
+func TestMaxSwapDegreeSmall(t *testing.T) {
+	// Lemma 3: only low degrees contribute to swaps; d_s must be tiny
+	// compared to the max degree at paper scale.
+	p := ParamsForVertices(10_000_000, 2.0)
+	ds := MaxSwapDegree(p)
+	if ds < 2 || ds > p.MaxDegree() {
+		t.Fatalf("d_s = %d out of range (Δ = %d)", ds, p.MaxDegree())
+	}
+	if ds > 200 {
+		t.Fatalf("d_s = %d, expected a small constant", ds)
+	}
+}
+
+func TestSCBoundBelowPaperCap(t *testing.T) {
+	// Lemma 6: |SC| < |V| − e^α.
+	for _, beta := range []float64{1.8, 2.2, 2.6} {
+		p := ParamsForVertices(1_000_000, beta)
+		sc := SCBound(p)
+		limit := p.NumVertices() - math.Exp(p.Alpha)
+		if sc < 0 || sc > limit+1 {
+			t.Fatalf("beta=%.1f: SC bound %f exceeds cap %f", beta, sc, limit)
+		}
+	}
+}
+
+func TestBinsBalls(t *testing.T) {
+	if pr := binsBallsPr(0, 5, 10, 2); pr != 0 {
+		t.Fatalf("no type-1 balls must give 0, got %f", pr)
+	}
+	if pr := binsBallsPr(5, 5, 10, 2); pr < 0 || pr > 1 {
+		t.Fatalf("probability out of range: %f", pr)
+	}
+	// More balls of both types cannot decrease the probability.
+	lo := binsBallsPr(2, 2, 50, 3)
+	hi := binsBallsPr(10, 10, 50, 3)
+	if hi < lo {
+		t.Fatalf("monotonicity violated: %f < %f", hi, lo)
+	}
+}
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		n, k, want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := C(c.n, c.k); math.Abs(got-c.want) > 1e-6*c.want+1e-9 {
+			t.Errorf("C(%v,%v) = %f, want %f", c.n, c.k, got, c.want)
+		}
+	}
+	if C(3, 5) != 0 || C(-1, 0) != 0 {
+		t.Error("invalid binomials must be 0")
+	}
+}
+
+func TestEdgeEndpointFraction(t *testing.T) {
+	p := ParamsForVertices(1_000_000, 2.0)
+	c := EdgeEndpointFraction(p)
+	z := Zeta(p.Beta-1, p.MaxDegree())
+	if c <= 0 || c >= z {
+		t.Fatalf("c = %f out of (0, ζ=%f)", c, z)
+	}
+}
+
+func TestUpperBoundSane(t *testing.T) {
+	p := ParamsForVertices(1_000_000, 2.0)
+	ub := UpperBound(p)
+	if ub <= 0 || ub > p.NumVertices() {
+		t.Fatalf("upper bound %f out of range", ub)
+	}
+	if ub < Greedy(p)*0.8 {
+		t.Fatalf("analytic bound %f far below greedy expectation %f", ub, Greedy(p))
+	}
+}

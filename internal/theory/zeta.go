@@ -1,0 +1,75 @@
+// Package theory implements the paper's analytical machinery for Power-Law
+// Random graphs P(α, β): the partial zeta sums of Equation (2), the expected
+// greedy independent-set size of Lemma 1 / Proposition 2, the swap-gain
+// estimate of Lemma 3 / Proposition 5, and the SC-size bound of Lemma 6.
+// These reproduce the theory-side numbers of Table 2, Figure 6, Table 9 and
+// Figure 10.
+package theory
+
+import "math"
+
+// Zeta returns the partial zeta sum ζ(x, y) = Σ_{i=1..y} 1/i^x used
+// throughout Section 4.2's analysis (Equation 2).
+func Zeta(x float64, y int) float64 {
+	var sum float64
+	// Sum smallest terms first for accuracy.
+	for i := y; i >= 1; i-- {
+		sum += math.Pow(float64(i), -x)
+	}
+	return sum
+}
+
+// Params are the two parameters of the power-law random graph model
+// P(α, β): α is the logarithm of the graph's size and β the log-log growth
+// rate. The number of vertices of degree x is e^α / x^β.
+type Params struct {
+	Alpha float64
+	Beta  float64
+}
+
+// MaxDegree returns Δ = ⌊e^{α/β}⌋, the maximum degree of the graph.
+func (p Params) MaxDegree() int {
+	d := int(math.Floor(math.Exp(p.Alpha / p.Beta)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// VerticesOfDegree returns the expected number of vertices with degree x,
+// e^α / x^β (Equation 1).
+func (p Params) VerticesOfDegree(x int) float64 {
+	return math.Exp(p.Alpha) / math.Pow(float64(x), p.Beta)
+}
+
+// NumVertices returns |V| = ζ(β, Δ)·e^α (Equation 2).
+func (p Params) NumVertices() float64 {
+	return Zeta(p.Beta, p.MaxDegree()) * math.Exp(p.Alpha)
+}
+
+// NumEdges returns |E| = ζ(β−1, Δ)·e^α / 2 (Equation 2 counts endpoints;
+// we return undirected edges).
+func (p Params) NumEdges() float64 {
+	return Zeta(p.Beta-1, p.MaxDegree()) * math.Exp(p.Alpha) / 2
+}
+
+// ParamsForVertices solves for α such that P(α, β) has approximately n
+// vertices. The fixed point converges in a handful of iterations because
+// Δ(α) varies slowly.
+func ParamsForVertices(n int, beta float64) Params {
+	if n < 1 {
+		n = 1
+	}
+	alpha := math.Log(float64(n)) // initial guess with ζ≈1
+	for i := 0; i < 60; i++ {
+		p := Params{Alpha: alpha, Beta: beta}
+		z := Zeta(beta, p.MaxDegree())
+		next := math.Log(float64(n) / z)
+		if math.Abs(next-alpha) < 1e-12 {
+			alpha = next
+			break
+		}
+		alpha = next
+	}
+	return Params{Alpha: alpha, Beta: beta}
+}

@@ -1,0 +1,65 @@
+package mis
+
+import "fmt"
+
+// Result is an independent set together with the run's accounting.
+type Result struct {
+	// InSet marks membership, indexed by vertex ID.
+	InSet []bool
+	// Size is the number of vertices in the set.
+	Size int
+	// Rounds is the number of swap rounds executed (swap algorithms only).
+	Rounds int
+	// RoundGains lists the net new IS vertices per round (Table 8's
+	// early-stop measurements).
+	RoundGains []int
+	// MemoryBytes is the high-water in-memory footprint of the algorithm's
+	// auxiliary structures.
+	MemoryBytes uint64
+	// SCHighWater is the peak number of vertices held in SC swap-candidate
+	// sets (two-k-swap only; Figure 10).
+	SCHighWater int
+	// IO is the I/O performed by this run.
+	IO IOStats
+}
+
+// Vertices returns the members in ascending vertex-ID order.
+func (r *Result) Vertices() []uint32 {
+	out := make([]uint32, 0, r.Size)
+	for v, in := range r.InSet {
+		if in {
+			out = append(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// Contains reports whether v is in the set.
+func (r *Result) Contains(v uint32) bool {
+	return int(v) < len(r.InSet) && r.InSet[v]
+}
+
+// Ratio returns Size divided by the given bound — the approximation ratio
+// against an upper bound on the independence number.
+func (r *Result) Ratio(upperBound uint64) float64 {
+	if upperBound == 0 {
+		return 0
+	}
+	return float64(r.Size) / float64(upperBound)
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("independent set: size=%d rounds=%d memory=%dB", r.Size, r.Rounds, r.MemoryBytes)
+}
+
+// IOStats counts the I/O a run performed: sequential scans, records, bytes
+// and buffered blocks.
+type IOStats struct {
+	Scans         int
+	RecordsRead   uint64
+	BytesRead     uint64
+	BytesWritten  uint64
+	BlocksRead    uint64
+	BlocksWritten uint64
+}
