@@ -11,7 +11,11 @@
 //
 // Experiment IDs: table2 fig6 table4 table5 table6 table7 table8 table9
 // fig5 fig8 fig9 fig10 ablation-io ablation-earlystop ablation-sort
-// ablation-pq.
+// ablation-pq scanbench.
+//
+// scanbench compares the block-pipelined scan engine against the bytewise
+// reference decoder and writes a machine-readable BENCH_scan.json
+// (-scan-out picks the path) so scan throughput is tracked across PRs.
 package main
 
 import (
@@ -39,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trials  = fs.Int("trials", 3, "random graphs averaged per β (paper: 10)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		workdir = fs.String("workdir", "", "directory for generated graphs (default: temp)")
+		scanOut = fs.String("scan-out", "", "path for the scanbench experiment's BENCH_scan.json (default: workdir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SweepTrials:   *trials,
 		Seed:          *seed,
 		Out:           stdout,
+		ScanBenchOut:  *scanOut,
 	}
 
 	experiments := bench.Experiments()

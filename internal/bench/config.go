@@ -36,6 +36,9 @@ type Config struct {
 	Seed int64
 	// Out receives the formatted tables; nil selects os.Stdout.
 	Out io.Writer
+	// ScanBenchOut is where the scanbench experiment writes its
+	// machine-readable BENCH_scan.json; empty selects the work directory.
+	ScanBenchOut string
 
 	mu        sync.Mutex
 	files     map[string]string // cached generated graph files by key
@@ -116,6 +119,7 @@ func Experiments() map[string]func(*Config) error {
 		"ablation-sort":         AblationSort,
 		"ablation-pq":           AblationPQ,
 		"ablation-randomaccess": AblationRandomAccess,
+		"scanbench":             ScanBench,
 	}
 }
 
@@ -126,6 +130,6 @@ func Order() []string {
 		"table1", "table2", "fig6", "table4", "table5", "table6", "table7",
 		"table8", "table9", "fig5", "fig8", "fig9", "fig10", "lemma1",
 		"ablation-io", "ablation-earlystop", "ablation-sort", "ablation-pq",
-		"ablation-randomaccess",
+		"ablation-randomaccess", "scanbench",
 	}
 }

@@ -1,0 +1,170 @@
+// Scanbench measures raw sequential-scan throughput of the gio engines —
+// the block-pipelined decoder against the bytewise reference decoder — and
+// emits a machine-readable BENCH_scan.json so the perf trajectory of the
+// scan path is tracked across PRs (the ROADMAP's "as fast as the hardware
+// allows" north star is, for this library, exactly this number).
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/gio"
+	"repro/internal/plrg"
+)
+
+// ScanBenchResult is one (file format, engine) measurement.
+type ScanBenchResult struct {
+	Format  string  `json:"format"` // "raw" or "compressed"
+	Engine  string  `json:"engine"` // "pipelined", "batch" or "bytewise"
+	Bytes   int64   `json:"bytes"`  // payload scanned per pass
+	NsPerOp int64   `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s"`
+}
+
+// ScanBenchReport is the BENCH_scan.json document.
+type ScanBenchReport struct {
+	Go        string            `json:"go"`
+	Vertices  int               `json:"vertices"`
+	Edges     int               `json:"edges"`
+	BlockSize int               `json:"block_size"`
+	Trials    int               `json:"trials"`
+	Results   []ScanBenchResult `json:"results"`
+	// Speedup is pipelined-over-bytewise throughput per format, the
+	// old-vs-new headline number.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// ScanBench runs the scan-throughput comparison and writes BENCH_scan.json
+// (to cfg.ScanBenchOut, or the work directory when unset).
+func ScanBench(cfg *Config) error {
+	cfg = cfg.withDefaults()
+	n := cfg.SweepVertices * 4
+	g := plrg.PowerLawN(n, 2.0, cfg.Seed)
+
+	rawPath, err := cfg.cachedFile(fmt.Sprintf("scanbench-raw-n%d", n), func(path string) error {
+		return gio.WriteGraph(path, g, nil, 0, nil)
+	})
+	if err != nil {
+		return err
+	}
+	compPath, err := cfg.cachedFile(fmt.Sprintf("scanbench-comp-n%d", n), func(path string) error {
+		return gio.WriteGraph(path, g, nil, gio.FlagCompressed, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	const trials = 5
+	report := ScanBenchReport{
+		Go:        runtime.Version(),
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		BlockSize: gio.DefaultBlockSize,
+		Trials:    trials,
+		Speedup:   map[string]float64{},
+	}
+
+	files := []struct{ format, path string }{
+		{"raw", rawPath},
+		{"compressed", compPath},
+	}
+	engines := []string{"pipelined", "batch", "bytewise"}
+	best := map[string]float64{} // format/engine → MB/s
+	for _, fl := range files {
+		f, err := gio.Open(fl.path, 0, nil)
+		if err != nil {
+			return err
+		}
+		size, err := f.SizeBytes()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		payload := size - gio.HeaderSize
+		for _, engine := range engines {
+			var bestNs int64
+			for t := 0; t < trials; t++ {
+				ns, err := timeScan(f, engine)
+				if err != nil {
+					f.Close()
+					return err
+				}
+				if bestNs == 0 || ns < bestNs {
+					bestNs = ns
+				}
+			}
+			mbps := float64(payload) / (float64(bestNs) / 1e9) / 1e6
+			best[fl.format+"/"+engine] = mbps
+			report.Results = append(report.Results, ScanBenchResult{
+				Format:  fl.format,
+				Engine:  engine,
+				Bytes:   payload,
+				NsPerOp: bestNs,
+				MBPerS:  mbps,
+			})
+			cfg.printf("%-11s %-9s %8.1f MB/s\n", fl.format, engine, mbps)
+		}
+		f.Close()
+	}
+	for _, fl := range files {
+		report.Speedup[fl.format] = best[fl.format+"/pipelined"] / best[fl.format+"/bytewise"]
+	}
+	cfg.printf("speedup (pipelined vs bytewise): raw %.2fx, compressed %.2fx\n",
+		report.Speedup["raw"], report.Speedup["compressed"])
+
+	out := cfg.ScanBenchOut
+	if out == "" {
+		out = filepath.Join(cfg.WorkDir, "BENCH_scan.json")
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	cfg.printf("wrote %s\n", out)
+	return nil
+}
+
+// timeScan measures one full scan of f with the given engine.
+func timeScan(f *gio.File, engine string) (int64, error) {
+	var sink uint64
+	start := time.Now()
+	var err error
+	switch engine {
+	case "pipelined":
+		err = f.ForEach(func(r gio.Record) error {
+			sink += uint64(r.ID) + uint64(len(r.Neighbors))
+			return nil
+		})
+	case "batch":
+		err = f.ForEachBatch(func(batch []gio.Record) error {
+			for _, r := range batch {
+				sink += uint64(r.ID) + uint64(len(r.Neighbors))
+			}
+			return nil
+		})
+	case "bytewise":
+		err = f.ForEachBytewise(func(r gio.Record) error {
+			sink += uint64(r.ID) + uint64(len(r.Neighbors))
+			return nil
+		})
+	default:
+		err = fmt.Errorf("bench: unknown scan engine %q", engine)
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	if err != nil {
+		return 0, err
+	}
+	if sink == 0 && f.NumVertices() > 0 {
+		return 0, fmt.Errorf("bench: scan of %s decoded nothing", f.Path())
+	}
+	return elapsed, nil
+}

@@ -28,11 +28,10 @@ func DynamicUpdateSemiExternal(f *gio.File) (*Result, gio.RandomAccessStats, err
 	deg := make([]int32, n)
 	removed := make([]bool, n)
 	maxDeg := 0
-	for v := 0; v < n; v++ {
-		d := ra.Degree(uint32(v))
+	for v, d := range ra.Degrees() {
 		deg[v] = int32(d)
-		if d > maxDeg {
-			maxDeg = d
+		if int(d) > maxDeg {
+			maxDeg = int(d)
 		}
 	}
 	buckets := make([][]uint32, maxDeg+1)

@@ -35,9 +35,11 @@ func ExternalMaximal(f *gio.File, opts ExternalMaximalOptions) (*Result, error) 
 	pos := make([]uint32, n)
 	{
 		i := uint32(0)
-		if err := f.ForEach(func(r gio.Record) error {
-			pos[r.ID] = i
-			i++
+		if err := f.ForEachBatch(func(batch []gio.Record) error {
+			for _, r := range batch {
+				pos[r.ID] = i
+				i++
+			}
 			return nil
 		}); err != nil {
 			return nil, fmt.Errorf("core: external maximal: position scan: %w", err)
@@ -49,44 +51,44 @@ func ExternalMaximal(f *gio.File, opts ExternalMaximalOptions) (*Result, error) 
 
 	res := newResult(n)
 	var pqPeak int
-	cur := uint32(0)
-	err := f.ForEach(func(r gio.Record) error {
-		me := uint64(pos[r.ID])
-		// Drain messages addressed to this position; any message means an
-		// earlier IS vertex excluded us.
-		excluded := false
-		for {
-			k, ok, err := pq.Min()
-			if err != nil {
-				return err
+	err := f.ForEachBatch(func(batch []gio.Record) error {
+		for _, r := range batch {
+			me := uint64(pos[r.ID])
+			// Drain messages addressed to this position; any message means an
+			// earlier IS vertex excluded us.
+			excluded := false
+			for {
+				k, ok, err := pq.Min()
+				if err != nil {
+					return err
+				}
+				if !ok || k > me {
+					break
+				}
+				if _, _, err := pq.Pop(); err != nil {
+					return err
+				}
+				if k == me {
+					excluded = true
+				}
+				// k < me cannot happen: messages target strictly later
+				// positions and are drained in order. Tolerated silently.
 			}
-			if !ok || k > me {
-				break
-			}
-			if _, _, err := pq.Pop(); err != nil {
-				return err
-			}
-			if k == me {
-				excluded = true
-			}
-			// k < me cannot happen: messages target strictly later
-			// positions and are drained in order. Tolerated silently.
-		}
-		if !excluded {
-			res.InSet[r.ID] = true
-			res.Size++
-			for _, u := range r.Neighbors {
-				if uint64(pos[u]) > me {
-					if err := pq.Push(uint64(pos[u])); err != nil {
-						return err
+			if !excluded {
+				res.InSet[r.ID] = true
+				res.Size++
+				for _, u := range r.Neighbors {
+					if uint64(pos[u]) > me {
+						if err := pq.Push(uint64(pos[u])); err != nil {
+							return err
+						}
 					}
 				}
 			}
+			if pq.Len() > pqPeak {
+				pqPeak = pq.Len()
+			}
 		}
-		if pq.Len() > pqPeak {
-			pqPeak = pq.Len()
-		}
-		cur++
 		return nil
 	})
 	if err != nil {

@@ -17,14 +17,16 @@ func Greedy(f *gio.File) (*Result, error) {
 	states := semiext.NewStates(n)
 	snap := snapshot(f.Stats())
 
-	err := f.ForEach(func(r gio.Record) error {
-		if states[r.ID] != semiext.StateInitial {
-			return nil
-		}
-		states[r.ID] = semiext.StateIS
-		for _, u := range r.Neighbors {
-			if states[u] == semiext.StateInitial {
-				states[u] = semiext.StateNonIS
+	err := f.ForEachBatch(func(batch []gio.Record) error {
+		for _, r := range batch {
+			if states[r.ID] != semiext.StateInitial {
+				continue
+			}
+			states[r.ID] = semiext.StateIS
+			for _, u := range r.Neighbors {
+				if states[u] == semiext.StateInitial {
+					states[u] = semiext.StateNonIS
+				}
 			}
 		}
 		return nil

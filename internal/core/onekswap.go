@@ -36,7 +36,13 @@ func (o SwapOptions) tracePhase(round int, phase string, states semiext.States) 
 	}
 }
 
-func (o SwapOptions) withDefaults(n int) SwapOptions {
+// WithDefaults returns a copy of o with every unset field replaced by its
+// documented default for an n-vertex graph: MaxRounds ≤ 0 selects 10·n+10
+// (effectively unbounded) and StallRounds ≤ 0 selects 3. It is the single
+// place swap defaults are decided — OneKSwap and TwoKSwap both apply it, and
+// callers that need to display or log effective settings can call it
+// themselves.
+func (o SwapOptions) WithDefaults(n int) SwapOptions {
 	if o.MaxRounds <= 0 {
 		o.MaxRounds = 10*n + 10
 	}
@@ -62,7 +68,7 @@ func OneKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
 	if len(initial) != n {
 		return nil, fmt.Errorf("core: one-k-swap: initial set has %d entries for %d vertices", len(initial), n)
 	}
-	opts = opts.withDefaults(n)
+	opts = opts.WithDefaults(n)
 	snap := snapshot(f.Stats())
 
 	states := semiext.NewStates(n)
@@ -79,25 +85,27 @@ func OneKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
 
 	// Setup scan (Algorithm 2 lines 1–3): find A vertices and their ISN,
 	// validating independence of the input along the way.
-	err := f.ForEach(func(r gio.Record) error {
-		u := r.ID
-		isMember := states[u] == semiext.StateIS
-		var (
-			isNbrs int
-			e      uint32
-		)
-		for _, nb := range r.Neighbors {
-			if states[nb] == semiext.StateIS {
-				if isMember {
-					return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+	err := f.ForEachBatch(func(batch []gio.Record) error {
+		for _, r := range batch {
+			u := r.ID
+			isMember := states[u] == semiext.StateIS
+			var (
+				isNbrs int
+				e      uint32
+			)
+			for _, nb := range r.Neighbors {
+				if states[nb] == semiext.StateIS {
+					if isMember {
+						return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+					}
+					isNbrs++
+					e = nb
 				}
-				isNbrs++
-				e = nb
 			}
-		}
-		if !isMember && isNbrs == 1 {
-			states[u] = semiext.StateAdjacent
-			isn.Set(u, e)
+			if !isMember && isNbrs == 1 {
+				states[u] = semiext.StateAdjacent
+				isn.Set(u, e)
+			}
 		}
 		return nil
 	})
@@ -150,48 +158,51 @@ func OneKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
 // It reports whether any swap fired (an R vertex left the set).
 func oneKRound(f *gio.File, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int) (bool, error) {
 	// Pre-swap scan (Algorithm 2 lines 7–14).
-	err := f.ForEach(func(r gio.Record) error {
-		u := r.ID
-		if states[u] != semiext.StateAdjacent {
-			return nil
-		}
-		// (i) Conflict: a neighbor already claimed a swap this round.
-		for _, nb := range r.Neighbors {
-			if states[nb] == semiext.StateProtected {
-				states[u] = semiext.StateConflict
-				isn.Clear(u)
-				return nil
+	err := f.ForEachBatch(func(batch []gio.Record) error {
+	records:
+		for _, r := range batch {
+			u := r.ID
+			if states[u] != semiext.StateAdjacent {
+				continue
 			}
-		}
-		w, _, cnt := isn.Get(u)
-		if cnt != 1 {
-			// Defensive: an A vertex always has exactly one ISN here.
-			states[u] = semiext.StateNonIS
-			return nil
-		}
-		switch states[w] {
-		case semiext.StateIS:
-			// (ii) 1-2 swap skeleton (u, v, w): some other still-A vertex v
-			// with ISN(v) = w is not adjacent to u. With x = u's neighbors
-			// naming w, a witness exists iff |ISN⁻¹(w)| ≥ x + 2 (the count
-			// includes u itself).
-			x := uint32(0)
+			// (i) Conflict: a neighbor already claimed a swap this round.
 			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateAdjacent && isn.Has(nb, w) {
-					if _, _, c := isn.Get(nb); c == 1 {
-						x++
-					}
+				if states[nb] == semiext.StateProtected {
+					states[u] = semiext.StateConflict
+					isn.Clear(u)
+					continue records
 				}
 			}
-			if isn.PreimageCount(w) >= x+2 {
+			w, _, cnt := isn.Get(u)
+			if cnt != 1 {
+				// Defensive: an A vertex always has exactly one ISN here.
+				states[u] = semiext.StateNonIS
+				continue
+			}
+			switch states[w] {
+			case semiext.StateIS:
+				// (ii) 1-2 swap skeleton (u, v, w): some other still-A vertex v
+				// with ISN(v) = w is not adjacent to u. With x = u's neighbors
+				// naming w, a witness exists iff |ISN⁻¹(w)| ≥ x + 2 (the count
+				// includes u itself).
+				x := uint32(0)
+				for _, nb := range r.Neighbors {
+					if states[nb] == semiext.StateAdjacent && isn.Has(nb, w) {
+						if _, _, c := isn.Get(nb); c == 1 {
+							x++
+						}
+					}
+				}
+				if isn.PreimageCount(w) >= x+2 {
+					states[u] = semiext.StateProtected
+					isn.Clear(u)
+					states[w] = semiext.StateRetrograde
+				}
+			case semiext.StateRetrograde:
+				// (iii) w is already leaving; u joins the swap.
 				states[u] = semiext.StateProtected
 				isn.Clear(u)
-				states[w] = semiext.StateRetrograde
 			}
-		case semiext.StateRetrograde:
-			// (iii) w is already leaving; u joins the swap.
-			states[u] = semiext.StateProtected
-			isn.Clear(u)
 		}
 		return nil
 	})
@@ -232,51 +243,54 @@ func oneKRound(f *gio.File, states semiext.States, isn *semiext.ISN, opts SwapOp
 // cascade-swap graph of Figure 5 cannot progress past its first group
 // otherwise, contradicting the paper's own worst-case analysis.
 func postSwapScan(f *gio.File, states semiext.States, isn *semiext.ISN, two bool) error {
-	return f.ForEach(func(r gio.Record) error {
-		u := r.ID
-		switch states[u] {
-		case semiext.StateNonIS, semiext.StateConflict, semiext.StateAdjacent:
-		default:
-			return nil
-		}
-		isn.Clear(u)
-		var (
-			isNbrs int
-			e1, e2 uint32
-		)
-		for _, nb := range r.Neighbors {
-			if states[nb] == semiext.StateIS {
-				switch isNbrs {
-				case 0:
-					e1 = nb
-				case 1:
-					e2 = nb
-				}
-				isNbrs++
+	return f.ForEachBatch(func(batch []gio.Record) error {
+	records:
+		for _, r := range batch {
+			u := r.ID
+			switch states[u] {
+			case semiext.StateNonIS, semiext.StateConflict, semiext.StateAdjacent:
+			default:
+				continue
 			}
-		}
-		switch {
-		case isNbrs == 1:
-			states[u] = semiext.StateAdjacent
-			isn.Set(u, e1)
-		case isNbrs == 2 && two:
-			states[u] = semiext.StateAdjacent
-			isn.Set(u, e1, e2)
-		case isNbrs == 0:
-			// 0↔1 swap: u may join only if every neighbor is C or N. The
-			// strict condition (an A neighbor blocks u) is load-bearing: an
-			// A neighbor recorded its ISN earlier in this scan and could
-			// later swap against it, so u joining here could create an IS
-			// edge one round later.
-			states[u] = semiext.StateNonIS
+			isn.Clear(u)
+			var (
+				isNbrs int
+				e1, e2 uint32
+			)
 			for _, nb := range r.Neighbors {
-				if s := states[nb]; s != semiext.StateConflict && s != semiext.StateNonIS {
-					return nil
+				if states[nb] == semiext.StateIS {
+					switch isNbrs {
+					case 0:
+						e1 = nb
+					case 1:
+						e2 = nb
+					}
+					isNbrs++
 				}
 			}
-			states[u] = semiext.StateIS
-		default:
-			states[u] = semiext.StateNonIS
+			switch {
+			case isNbrs == 1:
+				states[u] = semiext.StateAdjacent
+				isn.Set(u, e1)
+			case isNbrs == 2 && two:
+				states[u] = semiext.StateAdjacent
+				isn.Set(u, e1, e2)
+			case isNbrs == 0:
+				// 0↔1 swap: u may join only if every neighbor is C or N. The
+				// strict condition (an A neighbor blocks u) is load-bearing: an
+				// A neighbor recorded its ISN earlier in this scan and could
+				// later swap against it, so u joining here could create an IS
+				// edge one round later.
+				states[u] = semiext.StateNonIS
+				for _, nb := range r.Neighbors {
+					if s := states[nb]; s != semiext.StateConflict && s != semiext.StateNonIS {
+						continue records
+					}
+				}
+				states[u] = semiext.StateIS
+			default:
+				states[u] = semiext.StateNonIS
+			}
 		}
 		return nil
 	})
@@ -288,17 +302,20 @@ func postSwapScan(f *gio.File, states semiext.States, isn *semiext.ISN, two bool
 // suffices: a vertex skipped here has an IS neighbor, and additions only
 // give later vertices more IS neighbors.
 func maximalitySweep(f *gio.File, states semiext.States) error {
-	return f.ForEach(func(r gio.Record) error {
-		u := r.ID
-		if states[u] == semiext.StateIS {
-			return nil
-		}
-		for _, nb := range r.Neighbors {
-			if states[nb] == semiext.StateIS {
-				return nil
+	return f.ForEachBatch(func(batch []gio.Record) error {
+	records:
+		for _, r := range batch {
+			u := r.ID
+			if states[u] == semiext.StateIS {
+				continue
 			}
+			for _, nb := range r.Neighbors {
+				if states[nb] == semiext.StateIS {
+					continue records
+				}
+			}
+			states[u] = semiext.StateIS
 		}
-		states[u] = semiext.StateIS
 		return nil
 	})
 }

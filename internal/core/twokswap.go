@@ -60,7 +60,7 @@ func TwoKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
 	if len(initial) != n {
 		return nil, fmt.Errorf("core: two-k-swap: initial set has %d entries for %d vertices", len(initial), n)
 	}
-	opts = opts.withDefaults(n)
+	opts = opts.WithDefaults(n)
 	snap := snapshot(f.Stats())
 
 	st := &twoKState{
@@ -85,36 +85,38 @@ func TwoKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
 
 	// Setup scan (Algorithm 3 lines 1–3): A vertices with one or two IS
 	// neighbors, plus the degree array used to cap SC bucket sizes.
-	err := f.ForEach(func(r gio.Record) error {
-		u := r.ID
-		st.deg[u] = uint32(len(r.Neighbors))
-		isMember := st.states[u] == semiext.StateIS
-		var (
-			isNbrs int
-			e1, e2 uint32
-		)
-		for _, nb := range r.Neighbors {
-			if st.states[nb] == semiext.StateIS {
-				if isMember {
-					return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+	err := f.ForEachBatch(func(batch []gio.Record) error {
+		for _, r := range batch {
+			u := r.ID
+			st.deg[u] = uint32(len(r.Neighbors))
+			isMember := st.states[u] == semiext.StateIS
+			var (
+				isNbrs int
+				e1, e2 uint32
+			)
+			for _, nb := range r.Neighbors {
+				if st.states[nb] == semiext.StateIS {
+					if isMember {
+						return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+					}
+					switch isNbrs {
+					case 0:
+						e1 = nb
+					case 1:
+						e2 = nb
+					}
+					isNbrs++
 				}
-				switch isNbrs {
-				case 0:
-					e1 = nb
-				case 1:
-					e2 = nb
-				}
-				isNbrs++
 			}
-		}
-		if !isMember {
-			switch isNbrs {
-			case 1:
-				st.states[u] = semiext.StateAdjacent
-				st.isn.Set(u, e1)
-			case 2:
-				st.states[u] = semiext.StateAdjacent
-				st.isn.Set(u, e1, e2)
+			if !isMember {
+				switch isNbrs {
+				case 1:
+					st.states[u] = semiext.StateAdjacent
+					st.isn.Set(u, e1)
+				case 2:
+					st.states[u] = semiext.StateAdjacent
+					st.isn.Set(u, e1, e2)
+				}
 			}
 		}
 		return nil
@@ -198,72 +200,75 @@ func (st *twoKState) round(f *gio.File, opts SwapOptions, round int) (bool, erro
 // preSwapScan runs Algorithm 4 for every A vertex in scan order.
 func (st *twoKState) preSwapScan(f *gio.File) error {
 	nbrSet := make(map[uint32]struct{})
-	return f.ForEach(func(r gio.Record) error {
-		u := r.ID
-		if st.states[u] != semiext.StateAdjacent {
-			return nil
-		}
-		// Conflict (Algorithm 4 lines 3–4): a neighbor already holds P.
-		for _, nb := range r.Neighbors {
-			if st.states[nb] == semiext.StateProtected {
-				st.states[u] = semiext.StateConflict
-				st.isn.Clear(u)
-				return nil
+	return f.ForEachBatch(func(batch []gio.Record) error {
+	records:
+		for _, r := range batch {
+			u := r.ID
+			if st.states[u] != semiext.StateAdjacent {
+				continue
 			}
-		}
+			// Conflict (Algorithm 4 lines 3–4): a neighbor already holds P.
+			for _, nb := range r.Neighbors {
+				if st.states[nb] == semiext.StateProtected {
+					st.states[u] = semiext.StateConflict
+					st.isn.Clear(u)
+					continue records
+				}
+			}
 
-		w1, w2, cnt := st.isn.Get(u)
-		switch cnt {
-		case 2:
-			s1, s2 := st.states[w1], st.states[w2]
-			switch {
-			case s1 == semiext.StateIS && s2 == semiext.StateIS:
-				clear(nbrSet)
-				for _, nb := range r.Neighbors {
-					nbrSet[nb] = struct{}{}
+			w1, w2, cnt := st.isn.Get(u)
+			switch cnt {
+			case 2:
+				s1, s2 := st.states[w1], st.states[w2]
+				switch {
+				case s1 == semiext.StateIS && s2 == semiext.StateIS:
+					clear(nbrSet)
+					for _, nb := range r.Neighbors {
+						nbrSet[nb] = struct{}{}
+					}
+					if st.fireSkeleton(u, w1, w2, r.Neighbors, nbrSet) {
+						continue records
+					}
+					st.addCandidatePair(u, w1, w2, nbrSet)
+				case s1 == semiext.StateRetrograde && s2 == semiext.StateRetrograde:
+					// Algorithm 4 lines 11–12 generalized: all of u's IS
+					// neighbors are leaving, so u joins. It may straddle two
+					// different groups.
+					st.promote(u, r.Neighbors)
+					st.join(u, w1)
+					st.join(u, w2)
 				}
-				if st.fireSkeleton(u, w1, w2, r.Neighbors, nbrSet) {
-					return nil
-				}
-				st.addCandidatePair(u, w1, w2, nbrSet)
-			case s1 == semiext.StateRetrograde && s2 == semiext.StateRetrograde:
-				// Algorithm 4 lines 11–12 generalized: all of u's IS
-				// neighbors are leaving, so u joins. It may straddle two
-				// different groups.
-				st.promote(u, r.Neighbors)
-				st.join(u, w1)
-				st.join(u, w2)
-			}
-			// One I, one R: u's remaining IS neighbor keeps it out.
-		case 1:
-			switch st.states[w1] {
-			case semiext.StateIS:
-				// 1-2 swap skeleton via the witness counter (lines 9–10).
-				x := uint32(0)
-				for _, nb := range r.Neighbors {
-					if st.states[nb] == semiext.StateAdjacent && st.isn.Has(nb, w1) {
-						if _, _, c := st.isn.Get(nb); c == 1 {
-							x++
+				// One I, one R: u's remaining IS neighbor keeps it out.
+			case 1:
+				switch st.states[w1] {
+				case semiext.StateIS:
+					// 1-2 swap skeleton via the witness counter (lines 9–10).
+					x := uint32(0)
+					for _, nb := range r.Neighbors {
+						if st.states[nb] == semiext.StateAdjacent && st.isn.Has(nb, w1) {
+							if _, _, c := st.isn.Get(nb); c == 1 {
+								x++
+							}
 						}
 					}
-				}
-				if st.isn.PreimageCount(w1) >= x+2 {
+					if st.isn.PreimageCount(w1) >= x+2 {
+						st.promote(u, r.Neighbors)
+						st.states[w1] = semiext.StateRetrograde
+						gi := st.newGroup(w1)
+						st.groupOf[w1] = gi
+						st.groupOf[u] = gi
+					} else {
+						// Singleton-ISN vertices feed the partner index but are
+						// not SC-set members (Definition 2 requires a two-IS
+						// neighborhood), so they do not count toward the SC
+						// high-water mark.
+						st.seenOne[w1] = append(st.seenOne[w1], u)
+					}
+				case semiext.StateRetrograde:
+					// Join an already-fired swap (lines 11–12).
 					st.promote(u, r.Neighbors)
-					st.states[w1] = semiext.StateRetrograde
-					gi := st.newGroup(w1)
-					st.groupOf[w1] = gi
-					st.groupOf[u] = gi
-				} else {
-					// Singleton-ISN vertices feed the partner index but are
-					// not SC-set members (Definition 2 requires a two-IS
-					// neighborhood), so they do not count toward the SC
-					// high-water mark.
-					st.seenOne[w1] = append(st.seenOne[w1], u)
+					st.join(u, w1)
 				}
-			case semiext.StateRetrograde:
-				// Join an already-fired swap (lines 11–12).
-				st.promote(u, r.Neighbors)
-				st.join(u, w1)
 			}
 		}
 		return nil
@@ -410,33 +415,36 @@ func (st *twoKState) newGroup(ws ...uint32) int32 {
 // leave the set unless their group failed.
 func (st *twoKState) swapScan(f *gio.File) (bool, error) {
 	canSwap := false
-	err := f.ForEach(func(r gio.Record) error {
-		u := r.ID
-		switch st.states[u] {
-		case semiext.StateProtected:
-			if st.groupFailed(u) {
-				st.states[u] = semiext.StateConflict
-				return nil
-			}
-			for _, nb := range r.Neighbors {
-				if st.states[nb] == semiext.StateIS {
-					// Cross-group passenger collision: nb was promoted
-					// earlier in this scan next to u. Demote u and roll its
-					// group(s) back.
+	err := f.ForEachBatch(func(batch []gio.Record) error {
+	records:
+		for _, r := range batch {
+			u := r.ID
+			switch st.states[u] {
+			case semiext.StateProtected:
+				if st.groupFailed(u) {
 					st.states[u] = semiext.StateConflict
-					st.fail(st.groupOf[u])
-					st.fail(st.groupOf2[u])
-					return nil
+					continue
 				}
-			}
-			st.states[u] = semiext.StateIS
-			st.confirm(u)
-		case semiext.StateRetrograde:
-			if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
-				st.states[u] = semiext.StateIS // reinstated
-			} else {
-				st.states[u] = semiext.StateNonIS
-				canSwap = true
+				for _, nb := range r.Neighbors {
+					if st.states[nb] == semiext.StateIS {
+						// Cross-group passenger collision: nb was promoted
+						// earlier in this scan next to u. Demote u and roll its
+						// group(s) back.
+						st.states[u] = semiext.StateConflict
+						st.fail(st.groupOf[u])
+						st.fail(st.groupOf2[u])
+						continue records
+					}
+				}
+				st.states[u] = semiext.StateIS
+				st.confirm(u)
+			case semiext.StateRetrograde:
+				if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
+					st.states[u] = semiext.StateIS // reinstated
+				} else {
+					st.states[u] = semiext.StateNonIS
+					canSwap = true
+				}
 			}
 		}
 		return nil

@@ -147,15 +147,21 @@ func generateRuns(in *gio.File, deg []uint32, tempDir string, opts Options) ([]s
 	if err != nil {
 		return nil, err
 	}
-	for sc.Next() {
-		r := sc.Record()
-		ns := make([]uint32, len(r.Neighbors))
-		copy(ns, r.Neighbors)
-		batch = append(batch, record{id: r.ID, deg: uint32(len(ns)), neighbors: ns})
-		pending += 8 + 4*len(ns)
-		if pending >= opts.MemoryBudget {
-			if err := flush(); err != nil {
-				return runs, err
+	defer sc.Close() // a mid-scan flush error must not strand the prefetcher
+	for {
+		recs := sc.NextBatch()
+		if recs == nil {
+			break
+		}
+		for _, r := range recs {
+			ns := make([]uint32, len(r.Neighbors))
+			copy(ns, r.Neighbors)
+			batch = append(batch, record{id: r.ID, deg: uint32(len(ns)), neighbors: ns})
+			pending += 8 + 4*len(ns)
+			if pending >= opts.MemoryBudget {
+				if err := flush(); err != nil {
+					return runs, err
+				}
 			}
 		}
 	}

@@ -7,17 +7,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/gio"
 )
 
 // Intermediate runs use a raw, EOF-terminated record stream rather than the
 // gio adjacency format: a run holds an arbitrary subset of a graph's
 // vertices, so gio's header-driven record count and ID validation do not
-// apply to it.
+// apply to it. Record encoding and neighbor decoding reuse gio's raw-record
+// codec, so the bytes are laid out identically to an adjacency file's body
+// and both sides move whole records per call instead of 4 bytes at a time.
 
 type runWriter struct {
 	f   *os.File
 	bw  *bufio.Writer
-	buf [8]byte
+	buf []byte
 }
 
 func newRunWriter(path string, blockSize int) (*runWriter, error) {
@@ -32,18 +36,9 @@ func newRunWriter(path string, blockSize int) (*runWriter, error) {
 }
 
 func (w *runWriter) append(id uint32, neighbors []uint32) error {
-	binary.LittleEndian.PutUint32(w.buf[0:], id)
-	binary.LittleEndian.PutUint32(w.buf[4:], uint32(len(neighbors)))
-	if _, err := w.bw.Write(w.buf[:8]); err != nil {
-		return err
-	}
-	for _, n := range neighbors {
-		binary.LittleEndian.PutUint32(w.buf[:4], n)
-		if _, err := w.bw.Write(w.buf[:4]); err != nil {
-			return err
-		}
-	}
-	return nil
+	w.buf = gio.AppendRawRecord(w.buf[:0], id, neighbors)
+	_, err := w.bw.Write(w.buf)
+	return err
 }
 
 func (w *runWriter) close() error {
@@ -58,7 +53,7 @@ type runReader struct {
 	f    *os.File
 	br   *bufio.Reader
 	ns   []uint32
-	buf  [8]byte
+	buf  []byte
 	path string
 }
 
@@ -70,7 +65,7 @@ func newRunReader(path string, blockSize int) (*runReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("extsort: open run %s: %w", path, err)
 	}
-	return &runReader{f: f, br: bufio.NewReaderSize(f, blockSize), path: path}, nil
+	return &runReader{f: f, br: bufio.NewReaderSize(f, blockSize), path: path, buf: make([]byte, 8)}, nil
 }
 
 // next returns the next record, or done=true at end of run. The returned
@@ -83,17 +78,18 @@ func (r *runReader) next() (id uint32, neighbors []uint32, done bool, err error)
 		return 0, nil, false, fmt.Errorf("extsort: run %s: %w", r.path, err)
 	}
 	id = binary.LittleEndian.Uint32(r.buf[0:])
-	deg := binary.LittleEndian.Uint32(r.buf[4:])
-	if cap(r.ns) < int(deg) {
+	deg := int(binary.LittleEndian.Uint32(r.buf[4:]))
+	if cap(r.ns) < deg {
 		r.ns = make([]uint32, deg, deg*2)
 	}
 	r.ns = r.ns[:deg]
-	for i := range r.ns {
-		if _, err := io.ReadFull(r.br, r.buf[:4]); err != nil {
-			return 0, nil, false, fmt.Errorf("extsort: run %s truncated: %w", r.path, err)
-		}
-		r.ns[i] = binary.LittleEndian.Uint32(r.buf[:4])
+	if cap(r.buf) < 4*deg {
+		r.buf = make([]byte, 4*deg)
 	}
+	if _, err := io.ReadFull(r.br, r.buf[:4*deg]); err != nil {
+		return 0, nil, false, fmt.Errorf("extsort: run %s truncated: %w", r.path, err)
+	}
+	gio.DecodeUint32s(r.ns, r.buf)
 	return id, r.ns, false, nil
 }
 

@@ -1,0 +1,107 @@
+package gio
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// errScanStopped is delivered to a scanner that advances after its pipeline
+// was shut down — the file was closed, or a new Scan superseded it. The old
+// bytewise decoder surfaced an analogous "file already closed" read error
+// here; it must never become a hang.
+var errScanStopped = errors.New("scan stopped: file closed or superseded by a new scan")
+
+// prefetcher reads consecutive fixed-size blocks of an adjacency file on a
+// background goroutine so that the next block is usually already in memory
+// by the time the decoder finishes the current one. Reads use ReadAt with an
+// explicit offset, so the prefetcher never touches the *os.File's seek
+// position and a stale prefetcher from an abandoned scan can never corrupt a
+// newer one. Two buffers shuttle between producer and consumer — classic
+// double buffering: block k decodes while block k+1 is being read.
+//
+// The prefetcher itself never updates Stats: Stats is documented as not safe
+// for concurrent use, so byte/block accounting happens on the consumer
+// goroutine when it takes ownership of a block. A block that is read ahead
+// but never consumed is therefore never counted, matching the lazy reads of
+// the bytewise reference decoder.
+type prefetcher struct {
+	blocks chan pblock
+	free   chan []byte
+	quit   chan struct{}
+	once   sync.Once
+}
+
+// pblock is one fetched block: a prefix of a recycled buffer holding the
+// valid bytes, plus the read error that ended the fetch (io.EOF at end of
+// file, possibly alongside a final partial block).
+type pblock struct {
+	buf []byte
+	err error
+}
+
+// newPrefetcher starts reading blockSize blocks from f at offset off.
+func newPrefetcher(f *os.File, off int64, blockSize int) *prefetcher {
+	p := &prefetcher{
+		blocks: make(chan pblock, 1),
+		free:   make(chan []byte, 2),
+		quit:   make(chan struct{}),
+	}
+	p.free <- make([]byte, blockSize)
+	p.free <- make([]byte, blockSize)
+	go p.run(f, off, blockSize)
+	return p
+}
+
+func (p *prefetcher) run(f *os.File, off int64, blockSize int) {
+	for {
+		var buf []byte
+		select {
+		case buf = <-p.free:
+		case <-p.quit:
+			return
+		}
+		n, err := f.ReadAt(buf[:blockSize], off)
+		off += int64(n)
+		select {
+		case p.blocks <- pblock{buf: buf[:n], err: err}:
+		case <-p.quit:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// next hands over the next block. The slice is owned by the caller until it
+// passes it back through recycle. The producer stops after delivering a
+// block with a non-nil err, so callers must not call next again after one.
+// After shutdown, next reports errScanStopped instead of blocking forever
+// (preferring a block the producer already delivered, which keeps the
+// common consume-then-shutdown sequence lossless).
+func (p *prefetcher) next() pblock {
+	select {
+	case blk := <-p.blocks:
+		return blk
+	case <-p.quit:
+		select {
+		case blk := <-p.blocks:
+			return blk
+		default:
+			return pblock{err: errScanStopped}
+		}
+	}
+}
+
+// recycle returns a consumed block buffer to the producer.
+func (p *prefetcher) recycle(buf []byte) {
+	select {
+	case p.free <- buf[:cap(buf)]:
+	default:
+	}
+}
+
+// shutdown stops the producer goroutine. Idempotent, and safe to call while
+// the producer is mid-read or blocked on a channel.
+func (p *prefetcher) shutdown() { p.once.Do(func() { close(p.quit) }) }

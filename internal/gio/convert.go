@@ -89,9 +89,11 @@ func LoadGraph(path string, stats *Stats) (*graph.Graph, error) {
 	}
 	defer f.Close()
 	b := graph.NewBuilder(f.NumVertices())
-	err = f.ForEach(func(r Record) error {
-		for _, n := range r.Neighbors {
-			b.AddEdge(r.ID, n)
+	err = f.ForEachBatch(func(batch []Record) error {
+		for _, r := range batch {
+			for _, n := range r.Neighbors {
+				b.AddEdge(r.ID, n)
+			}
 		}
 		return nil
 	})
@@ -106,8 +108,10 @@ func LoadGraph(path string, stats *Stats) (*graph.Graph, error) {
 // semi-external model.
 func ReadDegrees(f *File) ([]uint32, error) {
 	deg := make([]uint32, f.NumVertices())
-	err := f.ForEach(func(r Record) error {
-		deg[r.ID] = uint32(len(r.Neighbors))
+	err := f.ForEachBatch(func(batch []Record) error {
+		for _, r := range batch {
+			deg[r.ID] = uint32(len(r.Neighbors))
+		}
 		return nil
 	})
 	if err != nil {

@@ -76,6 +76,10 @@ func FuzzOpenAndScan(f *testing.F) {
 			}
 			return nil
 		})
+		// Decoder parity: whatever the input, the block-pipelined engine and
+		// the bytewise reference decoder must agree on records and errors.
+		assertParity(t, path, 4096)
+		assertParity(t, path, DefaultBlockSize)
 	})
 }
 

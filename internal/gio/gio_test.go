@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -368,6 +369,42 @@ func TestReadDegrees(t *testing.T) {
 		if int(deg[v]) != g.Degree(uint32(v)) {
 			t.Fatalf("vertex %d: degree %d, want %d", v, deg[v], g.Degree(uint32(v)))
 		}
+	}
+}
+
+// TestScanAfterClose pins that advancing a Scanner after File.Close (or
+// after a new Scan supersedes it) reports an error instead of blocking on
+// the shut-down prefetch pipeline.
+func TestScanAfterClose(t *testing.T) {
+	g := randomGraph(7, 400, 4000)
+	path := tmpPath(t)
+	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Next() {
+		t.Fatalf("first record: %v", sc.Err())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Next() { // must terminate, with or without records
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Scanner.Next deadlocked after File.Close")
 	}
 }
 

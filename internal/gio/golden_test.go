@@ -52,6 +52,60 @@ func stripSpaces(s string) string {
 	return string(out)
 }
 
+// TestGoldenScanRecords pins the decoded view of the golden files: every
+// engine (pipelined, batch, bytewise) must recover exactly these records
+// from the pinned bytes. Together with the format tests this anchors both
+// directions of the codec.
+func TestGoldenScanRecords(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})
+	dir := t.TempDir()
+	want := []Record{
+		{ID: 0, Neighbors: []uint32{1}},
+		{ID: 1, Neighbors: []uint32{0, 2}},
+		{ID: 2, Neighbors: []uint32{1}},
+	}
+
+	raw := filepath.Join(dir, "golden.adj")
+	if err := WriteGraph(raw, g, []uint32{0, 1, 2}, FlagDegreeSorted, nil); err != nil {
+		t.Fatal(err)
+	}
+	comp := filepath.Join(dir, "golden.cadj")
+	w, err := NewWriter(comp, FlagCompressed, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 3; v++ {
+		if err := w.Append(v, g.Neighbors(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{raw, comp} {
+		for _, engine := range []string{"pipelined", "batch", "bytewise"} {
+			got := runScan(t, path, engine, 0)
+			if got.err != nil {
+				t.Fatalf("%s %s: %v", path, engine, got.err)
+			}
+			if len(got.recs) != len(want) {
+				t.Fatalf("%s %s: %d records, want %d", path, engine, len(got.recs), len(want))
+			}
+			for i, r := range got.recs {
+				if r.ID != want[i].ID || len(r.Neighbors) != len(want[i].Neighbors) {
+					t.Fatalf("%s %s: record %d = %+v, want %+v", path, engine, i, r, want[i])
+				}
+				for j := range r.Neighbors {
+					if r.Neighbors[j] != want[i].Neighbors[j] {
+						t.Fatalf("%s %s: record %d = %+v, want %+v", path, engine, i, r, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestGoldenCompressedFormat pins the compressed encoding.
 func TestGoldenCompressedFormat(t *testing.T) {
 	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})

@@ -41,10 +41,12 @@ func NewRandomAccessFile(f *File) (*RandomAccessFile, error) {
 		degrees: make([]uint32, n),
 	}
 	off := int64(HeaderSize)
-	err := f.ForEach(func(r Record) error {
-		ra.offsets[r.ID] = off
-		ra.degrees[r.ID] = uint32(len(r.Neighbors))
-		off += 8 + 4*int64(len(r.Neighbors))
+	err := f.ForEachBatch(func(batch []Record) error {
+		for _, r := range batch {
+			ra.offsets[r.ID] = off
+			ra.degrees[r.ID] = uint32(len(r.Neighbors))
+			off += 8 + 4*int64(len(r.Neighbors))
+		}
 		return nil
 	})
 	if err != nil {
@@ -55,6 +57,10 @@ func NewRandomAccessFile(f *File) (*RandomAccessFile, error) {
 
 // Degree returns v's degree from the in-memory index (no I/O).
 func (ra *RandomAccessFile) Degree(v uint32) int { return int(ra.degrees[v]) }
+
+// Degrees returns the whole degree index, indexed by vertex ID (no I/O).
+// The slice is the index itself; callers must not modify it.
+func (ra *RandomAccessFile) Degrees() []uint32 { return ra.degrees }
 
 // Fetch reads v's neighbor list with one positional read. The returned
 // slice is reused by the next Fetch.
@@ -75,9 +81,7 @@ func (ra *RandomAccessFile) Fetch(v uint32) ([]uint32, error) {
 		return nil, fmt.Errorf("%w: random read of vertex %d found record %d", ErrBadFormat, v, id)
 	}
 	out := make([]uint32, deg)
-	for i := 0; i < deg; i++ {
-		out[i] = binary.LittleEndian.Uint32(buf[8+4*i:])
-	}
+	DecodeUint32s(out, buf[8:])
 	return out, nil
 }
 

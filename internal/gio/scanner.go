@@ -1,7 +1,6 @@
 package gio
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,14 +9,16 @@ import (
 
 // File is an open adjacency file supporting repeated sequential scans.
 // It is the only way the semi-external algorithms touch the graph: every
-// Scan reads the file front to back with block-buffered reads and no seeks
-// other than the rewind between scans.
+// Scan reads the file front to back through the block-pipelined engine —
+// a background goroutine prefetches the next block while the current one
+// decodes — with no seeks other than the implicit rewind between scans.
 type File struct {
 	f         *os.File
 	path      string
 	header    Header
 	blockSize int
 	stats     *Stats
+	active    *prefetcher // the current scan's block pipeline, if any
 }
 
 // Open opens an adjacency file for scanning. stats may be nil; blockSize
@@ -67,111 +68,325 @@ func (g *File) SizeBytes() (int64, error) {
 	return fi.Size(), nil
 }
 
-// Close closes the underlying file.
-func (g *File) Close() error { return g.f.Close() }
+// Close closes the underlying file, stopping any in-flight prefetch.
+func (g *File) Close() error {
+	g.stopActive()
+	return g.f.Close()
+}
+
+// stopActive shuts down the previous scan's prefetcher, if one is still
+// running (a scan that was abandoned before reaching end of file).
+func (g *File) stopActive() {
+	if g.active != nil {
+		g.active.shutdown()
+		g.active = nil
+	}
+}
 
 // Record is one vertex's adjacency record as stored on disk. Neighbors is
-// only valid until the next Scanner.Next call.
+// only valid until the scanner advances past the batch that produced it.
 type Record struct {
 	ID        uint32
 	Neighbors []uint32
 }
 
-// Scanner iterates the records of one sequential scan.
+// Batch sizing for the block-pipelined decoder: a batch closes on whichever
+// comes first, a record-count cap (so per-record bookkeeping amortizes) or a
+// decoded-neighbor volume target (so the shared arena stays cache-sized).
+const (
+	batchMaxRecords = 1024
+	batchTargetInts = 64 * 1024
+)
+
+// Scanner iterates the records of one sequential scan. Records are decoded
+// in batches from in-memory blocks: NextBatch exposes whole batches with
+// amortized allocation, while Next/Record retain the familiar one-record
+// interface on top of the same engine.
 type Scanner struct {
-	file    *File
-	br      *bufio.Reader
-	rec     Record
-	scratch []uint32
-	buf     []byte
-	read    uint64
-	err     error
-	done    bool
+	file *File
+	pf   *prefetcher
+
+	win   []byte // decode window: unconsumed bytes of fetched blocks
+	pos   int    // decode position within win
+	ioErr error  // terminal read error from the pipeline (io.EOF at EOF)
+
+	recs    []Record // current batch; Neighbors are views into arena
+	arena   []uint32 // neighbor storage shared by the whole batch
+	nextRec int      // Next()'s cursor within recs
+	rec     Record   // Next()'s current record
+
+	// A record header decoded right before the batch ran out of arena space
+	// is parked here so the next batch resumes without re-reading bytes.
+	pending               bool
+	pendingID, pendingDeg uint64
+
+	read uint64 // records decoded so far this scan
+	err  error
+	done bool
 }
 
 // Scan rewinds the file and returns a Scanner over all records, counting
-// one sequential scan in the file's Stats when the scan completes.
+// one sequential scan in the file's Stats when the scan completes. Starting
+// a new Scan stops the prefetch pipeline of any previous unfinished one.
 func (g *File) Scan() (*Scanner, error) {
-	if _, err := g.f.Seek(HeaderSize, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("gio: rewind %s: %w", g.path, err)
-	}
+	g.stopActive()
+	pf := newPrefetcher(g.f, HeaderSize, g.blockSize)
+	g.active = pf
 	return &Scanner{
-		file: g,
-		br:   bufio.NewReaderSize(statsReader{g.f, g.stats}, g.blockSize),
-		buf:  make([]byte, 8),
+		file:  g,
+		pf:    pf,
+		recs:  make([]Record, 0, batchMaxRecords),
+		arena: make([]uint32, 0, batchTargetInts),
 	}, nil
+}
+
+// NextBatch returns the next batch of records in scan order, or nil at end
+// of scan or on error (check Err afterwards). The returned slice and the
+// Neighbors slices of its records are reused by the following NextBatch
+// call.
+func (s *Scanner) NextBatch() []Record {
+	if s.nextRec < len(s.recs) {
+		// Mixed Next/NextBatch use: hand out the unconsumed tail first.
+		out := s.recs[s.nextRec:]
+		s.nextRec = len(s.recs)
+		return out
+	}
+	s.fillBatch()
+	s.nextRec = len(s.recs)
+	if len(s.recs) == 0 {
+		return nil
+	}
+	return s.recs
 }
 
 // Next advances to the next record. It returns false at end of scan or on
 // error; check Err afterwards.
 func (s *Scanner) Next() bool {
-	if s.err != nil || s.done {
-		return false
-	}
-	if s.read == s.file.header.Vertices {
-		s.done = true
-		if s.file.stats != nil {
-			s.file.stats.Scans++
+	if s.nextRec >= len(s.recs) {
+		s.fillBatch()
+		if len(s.recs) == 0 {
+			return false
 		}
-		return false
 	}
-	if s.file.header.Flags&FlagCompressed != 0 {
-		return s.nextCompressed()
-	}
-	if _, err := io.ReadFull(s.br, s.buf[:8]); err != nil {
-		s.err = fmt.Errorf("%w: %s: record %d header: %v", ErrBadFormat, s.file.path, s.read, err)
-		return false
-	}
-	id := binary.LittleEndian.Uint32(s.buf[0:])
-	deg := binary.LittleEndian.Uint32(s.buf[4:])
-	if uint64(id) >= s.file.header.Vertices {
-		s.err = fmt.Errorf("%w: %s: record %d has out-of-range id %d", ErrBadFormat, s.file.path, s.read, id)
-		return false
-	}
-	if uint64(deg) >= s.file.header.Vertices {
-		s.err = fmt.Errorf("%w: %s: vertex %d has impossible degree %d", ErrBadFormat, s.file.path, id, deg)
-		return false
-	}
-	if cap(s.scratch) < int(deg) {
-		s.scratch = make([]uint32, deg, deg*2)
-	}
-	s.scratch = s.scratch[:deg]
-	if err := readUint32s(s.br, s.scratch); err != nil {
-		s.err = fmt.Errorf("%w: %s: vertex %d neighbors: %v", ErrBadFormat, s.file.path, id, err)
-		return false
-	}
-	s.rec.ID = id
-	s.rec.Neighbors = s.scratch
-	s.read++
-	if s.file.stats != nil {
-		s.file.stats.RecordsRead++
-	}
+	s.rec = s.recs[s.nextRec]
+	s.nextRec++
 	return true
 }
 
-// Record returns the current record. Its Neighbors slice is reused by Next.
+// Record returns the current record. Its Neighbors slice is reused once the
+// scanner advances past the current batch.
 func (s *Scanner) Record() Record { return s.rec }
 
 // Err returns the first error encountered by the scan, if any.
 func (s *Scanner) Err() error { return s.err }
 
-// readUint32s fills dst with little-endian uint32 values from r.
-func readUint32s(r io.Reader, dst []uint32) error {
-	var buf [4096]byte
-	for len(dst) > 0 {
-		chunk := len(dst) * 4
-		if chunk > len(buf) {
-			chunk = len(buf)
+// fillBatch decodes the next batch of records into s.recs. On return either
+// the batch is non-empty, or the scan completed (s.done) or failed (s.err).
+// Decoding never consumes bytes past the final record, so trailing garbage
+// in a file is never read into the window's accounting.
+func (s *Scanner) fillBatch() {
+	s.recs = s.recs[:0]
+	s.nextRec = 0
+	if s.err != nil || s.done {
+		return
+	}
+	if s.read == s.file.header.Vertices {
+		s.finish()
+		return
+	}
+	s.arena = s.arena[:0]
+	if s.file.header.Flags&FlagCompressed != 0 {
+		s.fillCompressed()
+	} else {
+		s.fillRaw()
+	}
+	if s.file.stats != nil {
+		s.file.stats.RecordsRead += uint64(len(s.recs))
+	}
+}
+
+// fillRaw batch-decodes fixed-width records from the window.
+func (s *Scanner) fillRaw() {
+	h := s.file.header
+	for s.read < h.Vertices && len(s.recs) < batchMaxRecords && len(s.arena) < batchTargetInts {
+		var id, deg uint64
+		if s.pending {
+			id, deg = s.pendingID, s.pendingDeg
+			s.pending = false
+		} else {
+			if err := s.ensure(8); err != nil {
+				s.fail(fmt.Errorf("%w: %s: record %d header: %v", ErrBadFormat, s.file.path, s.read, err))
+				return
+			}
+			id = uint64(binary.LittleEndian.Uint32(s.win[s.pos:]))
+			deg = uint64(binary.LittleEndian.Uint32(s.win[s.pos+4:]))
+			s.pos += 8
+			if id >= h.Vertices {
+				s.fail(fmt.Errorf("%w: %s: record %d has out-of-range id %d", ErrBadFormat, s.file.path, s.read, id))
+				return
+			}
+			if deg >= h.Vertices {
+				s.fail(fmt.Errorf("%w: %s: vertex %d has impossible degree %d", ErrBadFormat, s.file.path, id, deg))
+				return
+			}
 		}
-		if _, err := io.ReadFull(r, buf[:chunk]); err != nil {
-			return err
+		n := int(deg)
+		if !s.reserve(n) {
+			s.pending, s.pendingID, s.pendingDeg = true, id, deg
+			return
 		}
-		for i := 0; i < chunk/4; i++ {
-			dst[i] = binary.LittleEndian.Uint32(buf[i*4:])
+		if err := s.ensure(n * 4); err != nil {
+			s.fail(fmt.Errorf("%w: %s: vertex %d neighbors: %v", ErrBadFormat, s.file.path, id, err))
+			return
 		}
-		dst = dst[chunk/4:]
+		start := len(s.arena)
+		s.arena = s.arena[:start+n]
+		DecodeUint32s(s.arena[start:], s.win[s.pos:])
+		s.pos += n * 4
+		s.recs = append(s.recs, Record{ID: uint32(id), Neighbors: s.arena[start : start+n : start+n]})
+		s.read++
+	}
+}
+
+// reserve ensures the arena can hold need more values without reallocating,
+// which would invalidate the views already handed to this batch's records.
+// With records already in the batch it refuses instead, so the caller closes
+// the batch and resumes into an empty (possibly grown) arena.
+func (s *Scanner) reserve(need int) bool {
+	if len(s.arena)+need <= cap(s.arena) {
+		return true
+	}
+	if len(s.recs) > 0 {
+		return false
+	}
+	newCap := 2 * cap(s.arena)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < batchTargetInts {
+		newCap = batchTargetInts
+	}
+	s.arena = make([]uint32, 0, newCap)
+	return true
+}
+
+// ensure fills the window until n bytes are available from the current
+// position. When the stream runs out first, it reports the same error the
+// bytewise reference decoder's chunked io.ReadFull would have: io.EOF when
+// the truncation point falls on a 4096-byte chunk boundary of the request,
+// io.ErrUnexpectedEOF otherwise, and underlying read errors verbatim.
+func (s *Scanner) ensure(n int) error {
+	for len(s.win)-s.pos < n {
+		if !s.more() {
+			if s.ioErr != nil && s.ioErr != io.EOF {
+				return s.ioErr
+			}
+			if avail := len(s.win) - s.pos; avail%4096 != 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return io.EOF
+		}
 	}
 	return nil
+}
+
+// more appends the next prefetched block to the window, compacting consumed
+// bytes first. It returns false when the stream is exhausted. Stats are
+// counted here, on the consumer side, block by block as ownership transfers.
+func (s *Scanner) more() bool {
+	if s.ioErr != nil {
+		return false
+	}
+	blk := s.pf.next()
+	if st := s.file.stats; st != nil && len(blk.buf) > 0 {
+		st.BytesRead += uint64(len(blk.buf))
+		st.BlocksRead++
+	}
+	if blk.err != nil {
+		s.ioErr = blk.err
+	}
+	if len(blk.buf) == 0 {
+		return false
+	}
+	if s.pos > 0 {
+		if s.pos == len(s.win) {
+			s.win = s.win[:0]
+			s.pos = 0
+		} else if s.pos >= s.file.blockSize {
+			// Drop the consumed prefix only once it dominates the window, so
+			// a record straddling many blocks is not recopied per block.
+			n := copy(s.win, s.win[s.pos:])
+			s.win = s.win[:n]
+			s.pos = 0
+		}
+	}
+	s.win = append(s.win, blk.buf...)
+	s.pf.recycle(blk.buf)
+	return true
+}
+
+// finish marks a completed scan, counting it exactly once.
+func (s *Scanner) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	if s.file.stats != nil {
+		s.file.stats.Scans++
+	}
+	s.close()
+}
+
+// fail records the scan's first error and stops the pipeline.
+func (s *Scanner) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.close()
+}
+
+// Close releases the scan's prefetch pipeline (a goroutine and two block
+// buffers). Completed or failed scans release it automatically, as do
+// File.Close and a new Scan on the same file; call Close when abandoning a
+// scan mid-file while keeping the File open. Idempotent.
+func (s *Scanner) Close() { s.close() }
+
+// close stops this scan's prefetcher.
+func (s *Scanner) close() {
+	s.pf.shutdown()
+	if s.file.active == s.pf {
+		s.file.active = nil
+	}
+}
+
+// DecodeUint32s decodes len(dst) little-endian uint32 values from src. It is
+// the single bulk decoder for fixed-width neighbor lists, shared with the
+// external-sort run reader.
+func DecodeUint32s(dst []uint32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	_ = src[4*len(dst)-1] // one bounds check for the whole loop
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(src[i*4:])
+	}
+}
+
+// AppendRawRecord appends the raw (uncompressed) on-disk encoding of one
+// adjacency record to dst and returns the extended slice. It is the single
+// encoder for the raw record layout, shared by Writer and the external-sort
+// run writer.
+func AppendRawRecord(dst []byte, id uint32, neighbors []uint32) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:], id)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(neighbors)))
+	dst = append(dst, b[:]...)
+	for _, n := range neighbors {
+		var v [4]byte
+		binary.LittleEndian.PutUint32(v[:], n)
+		dst = append(dst, v[:]...)
+	}
+	return dst
 }
 
 // ForEach runs one full sequential scan, invoking fn for every record.
@@ -180,27 +395,39 @@ func (g *File) ForEach(fn func(Record) error) error {
 	if err != nil {
 		return err
 	}
-	for sc.Next() {
-		if err := fn(sc.Record()); err != nil {
-			return err
+	defer sc.close()
+	for {
+		batch := sc.NextBatch()
+		if batch == nil {
+			break
+		}
+		for i := range batch {
+			if err := fn(batch[i]); err != nil {
+				return err
+			}
 		}
 	}
 	return sc.Err()
 }
 
-// statsReader counts bytes and buffered refills.
-type statsReader struct {
-	r     io.Reader
-	stats *Stats
-}
-
-func (sr statsReader) Read(p []byte) (int, error) {
-	n, err := sr.r.Read(p)
-	if sr.stats != nil {
-		sr.stats.BytesRead += uint64(n)
-		if n > 0 {
-			sr.stats.BlocksRead++
+// ForEachBatch runs one full sequential scan, invoking fn for every decoded
+// batch of records in scan order. It is the fast path for scan-bound
+// algorithms: one callback per batch instead of per record, with the batch's
+// neighbor lists decoded back to back in one arena.
+func (g *File) ForEachBatch(fn func([]Record) error) error {
+	sc, err := g.Scan()
+	if err != nil {
+		return err
+	}
+	defer sc.close()
+	for {
+		batch := sc.NextBatch()
+		if batch == nil {
+			break
+		}
+		if err := fn(batch); err != nil {
+			return err
 		}
 	}
-	return n, err
+	return sc.Err()
 }

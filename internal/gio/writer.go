@@ -2,7 +2,6 @@ package gio
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -35,7 +34,6 @@ func NewWriter(path string, flags uint32, blockSize int, stats *Stats) (*Writer,
 	w := &Writer{
 		f:      f,
 		bw:     newCountingWriter(f, blockSize, stats),
-		buf:    make([]byte, 8),
 		header: Header{Version: 1, Flags: flags},
 		stats:  stats,
 	}
@@ -50,7 +48,8 @@ func NewWriter(path string, flags uint32, blockSize int, stats *Stats) (*Writer,
 
 // Append writes the record for vertex id with the given neighbor list.
 // On a FlagCompressed writer the list is stored varint/delta encoded in
-// ascending ID order; otherwise it is stored verbatim.
+// ascending ID order; otherwise it is stored verbatim. Either way the whole
+// record is encoded into a reusable scratch buffer and written in one call.
 func (w *Writer) Append(id uint32, neighbors []uint32) error {
 	if w.err != nil {
 		return w.err
@@ -58,18 +57,10 @@ func (w *Writer) Append(id uint32, neighbors []uint32) error {
 	if w.header.Flags&FlagCompressed != 0 {
 		return w.appendCompressed(id, neighbors)
 	}
-	binary.LittleEndian.PutUint32(w.buf[0:], id)
-	binary.LittleEndian.PutUint32(w.buf[4:], uint32(len(neighbors)))
-	if _, err := w.bw.Write(w.buf[:8]); err != nil {
+	w.buf = AppendRawRecord(w.buf[:0], id, neighbors)
+	if _, err := w.bw.Write(w.buf); err != nil {
 		w.err = err
 		return err
-	}
-	for _, n := range neighbors {
-		binary.LittleEndian.PutUint32(w.buf[:4], n)
-		if _, err := w.bw.Write(w.buf[:4]); err != nil {
-			w.err = err
-			return err
-		}
 	}
 	w.records++
 	w.degSum += uint64(len(neighbors))

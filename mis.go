@@ -68,8 +68,10 @@ func Algorithms() []Algorithm {
 	}
 }
 
-// SwapOptions tune the swap algorithms; the zero value uses the defaults
-// described on each field.
+// SwapOptions tune the swap algorithms; the zero value selects defaults.
+// Defaults are decided in exactly one place, core.SwapOptions.WithDefaults,
+// which the swap algorithms apply on entry; the field comments here restate
+// them for reference.
 type SwapOptions struct {
 	// MaxRounds caps swap rounds; 0 means effectively unbounded (the
 	// algorithms stop when no swap fires). Real graphs need 2–9 rounds.
