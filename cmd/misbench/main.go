@@ -11,11 +11,17 @@
 //
 // Experiment IDs: table2 fig6 table4 table5 table6 table7 table8 table9
 // fig5 fig8 fig9 fig10 ablation-io ablation-earlystop ablation-sort
-// ablation-pq scanbench.
+// ablation-pq scanbench parscanbench.
 //
 // scanbench compares the block-pipelined scan engine against the bytewise
 // reference decoder and writes a machine-readable BENCH_scan.json
 // (-scan-out picks the path) so scan throughput is tracked across PRs.
+//
+// parscanbench sweeps the parallel partitioned executor over worker counts
+// {1, 2, 4, 7} on the same workload and writes BENCH_parscan.json
+// (-parscan-out picks the path): workers=1 is the single-stream baseline,
+// and the report's speedup_at_4_workers is the headline parallel number
+// (only meaningful on hosts with ≥4 CPUs; num_cpu is recorded alongside).
 package main
 
 import (
@@ -37,26 +43,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("misbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale   = fs.Int("scale", 1000, "divide the paper's dataset sizes by this factor")
-		sweepN  = fs.Int("sweep-n", 50000, "vertices for the β-sweep graphs (paper: 10M)")
-		trials  = fs.Int("trials", 3, "random graphs averaged per β (paper: 10)")
-		seed    = fs.Int64("seed", 1, "random seed")
-		workdir = fs.String("workdir", "", "directory for generated graphs (default: temp)")
-		scanOut = fs.String("scan-out", "", "path for the scanbench experiment's BENCH_scan.json (default: workdir)")
+		runIDs     = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale      = fs.Int("scale", 1000, "divide the paper's dataset sizes by this factor")
+		sweepN     = fs.Int("sweep-n", 50000, "vertices for the β-sweep graphs (paper: 10M)")
+		trials     = fs.Int("trials", 3, "random graphs averaged per β (paper: 10)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		workdir    = fs.String("workdir", "", "directory for generated graphs (default: temp)")
+		scanOut    = fs.String("scan-out", "", "path for the scanbench experiment's BENCH_scan.json (default: workdir)")
+		parScanOut = fs.String("parscan-out", "", "path for the parscanbench experiment's BENCH_parscan.json (default: workdir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	cfg := &bench.Config{
-		WorkDir:       *workdir,
-		DatasetScale:  *scale,
-		SweepVertices: *sweepN,
-		SweepTrials:   *trials,
-		Seed:          *seed,
-		Out:           stdout,
-		ScanBenchOut:  *scanOut,
+		WorkDir:         *workdir,
+		DatasetScale:    *scale,
+		SweepVertices:   *sweepN,
+		SweepTrials:     *trials,
+		Seed:            *seed,
+		Out:             stdout,
+		ScanBenchOut:    *scanOut,
+		ParScanBenchOut: *parScanOut,
 	}
 
 	experiments := bench.Experiments()

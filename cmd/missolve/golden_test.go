@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const fixture = "../../testdata/tiny.adj"
+
+// timeRe normalizes the one nondeterministic token in missolve's output.
+var timeRe = regexp.MustCompile(`time = [^ ]+`)
+
+// TestGolden locks missolve's full output for the checked-in fixture graph
+// across the paper's deterministic algorithms, and requires parallel scans
+// (-workers) to produce the identical report — size, rounds, memory and the
+// I/O accounting included.
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		golden string
+		args   []string
+	}{
+		{"greedy", "greedy.golden", []string{"-alg", "greedy", "-verify", "-bound", fixture}},
+		{"greedy-workers4", "greedy.golden", []string{"-workers", "4", "-alg", "greedy", "-verify", "-bound", fixture}},
+		{"one-k-swap", "onekswap.golden", []string{"-alg", "one-k-swap", "-verify", fixture}},
+		{"two-k-swap", "twokswap.golden", []string{"-alg", "two-k-swap", "-verify", "-bound", fixture}},
+		{"two-k-swap-workers7", "twokswap.golden", []string{"-workers", "7", "-alg", "two-k-swap", "-verify", "-bound", fixture}},
+		{"external-maximal", "external.golden", []string{"-alg", "external-maximal", "-verify", fixture}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			got := timeRe.ReplaceAll(stdout.Bytes(), []byte("time = X"))
+			compareGolden(t, tc.golden, got)
+		})
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxRounds = fs.Int("max-rounds", 0, "cap swap rounds (0 = until convergence)")
 		earlyStop = fs.Int("early-stop", 0, "stop swaps after this many rounds (0 = off)")
 		seed      = fs.Int64("seed", 1, "seed for the randomized algorithm")
+		workers   = fs.Int("workers", 1, "goroutines decoding file partitions concurrently during scans (0 = GOMAXPROCS); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	f, err := mis.Open(fs.Arg(0))
+	f, err := mis.Open(fs.Arg(0), mis.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintf(stderr, "missolve: %v\n", err)
 		return 1

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const fixture = "../../testdata/tiny.adj"
+
+// TestGolden locks misstat's report for the checked-in fixture graph, and
+// requires the parallel partitioned scan to render the identical report.
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"default", []string{fixture}},
+		{"workers4", []string{"-workers", "4", fixture}},
+		{"workers7", []string{"-workers", "7", fixture}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			compareGolden(t, "tiny.golden", stdout.Bytes())
+		})
+	}
+}
+
+func TestBadFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"does-not-exist.adj"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d for missing file", code)
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}

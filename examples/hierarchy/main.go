@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -28,27 +29,32 @@ import (
 func main() {
 	n := flag.Int("n", 100000, "vertices in the synthetic road-network-like graph")
 	flag.Parse()
+	if err := run(os.Stdout, *n); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(out io.Writer, n int) error {
 	dir, err := os.MkdirTemp("", "mis-hierarchy")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 
 	base := filepath.Join(dir, "level0.adj")
-	if err := mis.GeneratePowerLawFile(base, *n, 2.3, 17, true); err != nil {
-		log.Fatal(err)
+	if err := mis.GeneratePowerLawFile(base, n, 2.3, 17, true); err != nil {
+		return err
 	}
 
 	// The hierarchy loop: solve MIS on the current level, then build the
 	// next level as the induced subgraph on the non-IS vertices.
 	level := 0
 	cur := base
-	fmt.Printf("%5s %12s %12s %12s\n", "level", "|V|", "|E|", "|IS| taken")
+	fmt.Fprintf(out, "%5s %12s %12s %12s\n", "level", "|V|", "|E|", "|IS| taken")
 	for {
 		f, err := mis.Open(cur)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		nv := f.NumVertices()
 		ne := f.NumEdges()
@@ -58,22 +64,25 @@ func main() {
 		}
 		greedy, err := f.Greedy()
 		if err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		set, err := f.TwoKSwap(greedy, mis.SwapOptions{EarlyStopRounds: 3})
 		if err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.VerifyIndependent(set); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
-		fmt.Printf("%5d %12d %12d %12d\n", level, nv, ne, set.Size)
+		fmt.Fprintf(out, "%5d %12d %12d %12d\n", level, nv, ne, set.Size)
 
 		// Residual: the induced subgraph on vertices outside the set.
 		g, err := gio.LoadGraph(cur, nil)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var keep []uint32
 		for v := 0; v < g.NumVertices(); v++ {
@@ -88,15 +97,16 @@ func main() {
 		sub, _ := g.Subgraph(keep)
 		next := filepath.Join(dir, fmt.Sprintf("level%d.adj", level+1))
 		if err := writeSorted(next, sub); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cur = next
 		level++
 		if level > 64 {
-			log.Fatal("hierarchy did not collapse — bug")
+			return fmt.Errorf("hierarchy did not collapse — bug")
 		}
 	}
-	fmt.Printf("\nhierarchy of %d levels: an IS-Label index would store one label array per level\n", level)
+	fmt.Fprintf(out, "\nhierarchy of %d levels: an IS-Label index would store one label array per level\n", level)
+	return nil
 }
 
 func writeSorted(path string, g *graph.Graph) error {

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the hierarchy construction on a small graph.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hierarchy of ") {
+		t.Fatalf("missing summary line in output:\n%s", out.String())
+	}
+}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -30,10 +31,13 @@ func (a label) overlaps(b label) bool {
 }
 
 func main() {
-	const (
-		nLabels = 4000
-		mapSize = 100.0
-	)
+	if err := run(os.Stdout, 4000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, nLabels int) error {
+	const mapSize = 100.0
 	rng := rand.New(rand.NewSource(2015))
 
 	// Candidate labels: random positions, sizes between 1×0.5 and 3×1.5.
@@ -68,42 +72,43 @@ func main() {
 
 	dir, err := os.MkdirTemp("", "mis-maplabel")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "conflicts.adj")
 	if err := b.WriteFile(path, true); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	f, err := mis.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
-	fmt.Printf("conflict graph: %d candidate labels, %d overlaps\n",
+	fmt.Fprintf(out, "conflict graph: %d candidate labels, %d overlaps\n",
 		f.NumVertices(), f.NumEdges())
 
 	greedy, err := f.Greedy()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	two, err := f.TwoKSwap(greedy, mis.SwapOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	bound, err := f.UpperBound()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("greedy placement:     %d labels\n", greedy.Size)
-	fmt.Printf("after two-k-swap:     %d labels (+%d, %d rounds)\n",
+	fmt.Fprintf(out, "greedy placement:     %d labels\n", greedy.Size)
+	fmt.Fprintf(out, "after two-k-swap:     %d labels (+%d, %d rounds)\n",
 		two.Size, two.Size-greedy.Size, two.Rounds)
-	fmt.Printf("upper bound:          %d labels → ratio %.3f\n", bound, two.Ratio(bound))
+	fmt.Fprintf(out, "upper bound:          %d labels → ratio %.3f\n", bound, two.Ratio(bound))
 
 	if err := f.VerifyIndependent(two); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("verified: no two placed labels overlap")
+	fmt.Fprintln(out, "verified: no two placed labels overlap")
+	return nil
 }

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the label-placement pipeline on a small instance.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 800); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified: no two placed labels overlap") {
+		t.Fatalf("missing verification line in output:\n%s", out.String())
+	}
+}

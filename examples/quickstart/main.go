@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -14,9 +15,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	dir, err := os.MkdirTemp("", "mis-quickstart")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "toy.adj")
@@ -28,45 +35,46 @@ func main() {
 	b.AddEdge(0, 3)
 	b.AddEdge(0, 4)
 	if err := b.WriteFile(path, true /* degree-sorted */); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	f, err := mis.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
-	fmt.Printf("graph: %d vertices, %d edges\n", f.NumVertices(), f.NumEdges())
+	fmt.Fprintf(out, "graph: %d vertices, %d edges\n", f.NumVertices(), f.NumEdges())
 
 	greedy, err := f.Greedy()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("greedy:      size %d, members %v\n", greedy.Size, greedy.Vertices())
+	fmt.Fprintf(out, "greedy:      size %d, members %v\n", greedy.Size, greedy.Vertices())
 
 	one, err := f.OneKSwap(greedy, mis.SwapOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("one-k-swap:  size %d after %d rounds\n", one.Size, one.Rounds)
+	fmt.Fprintf(out, "one-k-swap:  size %d after %d rounds\n", one.Size, one.Rounds)
 
 	two, err := f.TwoKSwap(greedy, mis.SwapOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("two-k-swap:  size %d after %d rounds\n", two.Size, two.Rounds)
+	fmt.Fprintf(out, "two-k-swap:  size %d after %d rounds\n", two.Size, two.Rounds)
 
 	bound, err := f.UpperBound()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("upper bound: %d  → approximation ratio %.3f\n", bound, two.Ratio(bound))
+	fmt.Fprintf(out, "upper bound: %d  → approximation ratio %.3f\n", bound, two.Ratio(bound))
 
 	if err := f.VerifyIndependent(two); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := f.VerifyMaximal(two); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("verified: the result is an independent set and maximal")
+	fmt.Fprintln(out, "verified: the result is an independent set and maximal")
+	return nil
 }

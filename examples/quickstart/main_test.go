@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun is the compile-and-run smoke test: the example must finish without
+// error and reach its verification line.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified: the result is an independent set and maximal") {
+		t.Fatalf("missing verification line in output:\n%s", out.String())
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -24,47 +25,56 @@ func main() {
 	n := flag.Int("n", 200000, "number of users")
 	beta := flag.Float64("beta", 2.1, "power-law exponent")
 	flag.Parse()
+	if err := run(os.Stdout, *n, *beta); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(out io.Writer, n int, beta float64) error {
 	dir, err := os.MkdirTemp("", "mis-social")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "social.adj")
 
-	fmt.Printf("generating P(α, β=%.1f) social graph with ≈%d users...\n", *beta, *n)
-	if err := mis.GeneratePowerLawFile(path, *n, *beta, 42, true); err != nil {
-		log.Fatal(err)
+	fmt.Fprintf(out, "generating P(α, β=%.1f) social graph with ≈%d users...\n", beta, n)
+	if err := mis.GeneratePowerLawFile(path, n, beta, 42, true); err != nil {
+		return err
 	}
 	f, err := mis.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
-	size, _ := f.SizeBytes()
-	fmt.Printf("graph: %d users, %d friendships, avg degree %.2f, %d bytes on disk\n\n",
+	size, err := f.SizeBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "graph: %d users, %d friendships, avg degree %.2f, %d bytes on disk\n\n",
 		f.NumVertices(), f.NumEdges(), f.AvgDegree(), size)
 
 	bound, err := f.UpperBound()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("%-18s %10s %8s %10s %8s %8s\n", "algorithm", "|IS|", "ratio", "memory", "scans", "time")
+	fmt.Fprintf(out, "%-18s %10s %8s %10s %8s %8s\n", "algorithm", "|IS|", "ratio", "memory", "scans", "time")
 	for _, alg := range mis.Algorithms() {
 		f.ResetStats()
 		start := time.Now()
 		r, err := f.Solve(alg, mis.SwapOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		elapsed := time.Since(start)
 		if err := f.VerifyIndependent(r); err != nil {
-			log.Fatalf("%s: %v", alg, err)
+			return fmt.Errorf("%s: %w", alg, err)
 		}
-		fmt.Printf("%-18s %10d %8.4f %10d %8d %8s\n",
+		fmt.Fprintf(out, "%-18s %10d %8.4f %10d %8d %8s\n",
 			alg, r.Size, r.Ratio(bound), r.MemoryBytes, r.IO.Scans,
 			elapsed.Round(time.Millisecond))
 	}
-	fmt.Printf("\nupper bound on the independence number: %d\n", bound)
+	fmt.Fprintf(out, "\nupper bound on the independence number: %d\n", bound)
+	return nil
 }

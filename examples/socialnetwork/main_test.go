@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the six-algorithm comparison on a small graph.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2000, 2.1); err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"greedy", "one-k-swap", "two-k-swap", "external-maximal"} {
+		if !strings.Contains(out.String(), alg) {
+			t.Fatalf("algorithm %q missing from output:\n%s", alg, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "upper bound on the independence number:") {
+		t.Fatalf("missing upper bound line:\n%s", out.String())
+	}
+}

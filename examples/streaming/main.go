@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -22,36 +23,37 @@ import (
 )
 
 func main() {
-	const (
-		users       = 100000
-		updates     = 50000
-		repairEvery = 10000
-	)
+	if err := run(os.Stdout, 100000, 50000, 10000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, users, updates, repairEvery int) error {
 	dir, err := os.MkdirTemp("", "mis-streaming")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer os.RemoveAll(dir)
 	base := filepath.Join(dir, "base.adj")
 	if err := mis.GeneratePowerLawFile(base, users, 2.1, 11, true); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	f, err := mis.Open(base)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	seed, err := f.Greedy()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("base graph: %d users, %d edges; initial greedy set: %d\n",
+	fmt.Fprintf(out, "base graph: %d users, %d edges; initial greedy set: %d\n",
 		f.NumVertices(), f.NumEdges(), seed.Size)
 
 	m, err := mis.NewMaintainer(f, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(99))
@@ -67,41 +69,42 @@ func main() {
 			err = m.InsertEdge(u, v)
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if i%repairEvery == 0 {
 			added, err := m.Repair()
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("after %6d updates: |IS| = %d (evictions so far %d, repair re-added %d, delta %d edges)\n",
+			fmt.Fprintf(out, "after %6d updates: |IS| = %d (evictions so far %d, repair re-added %d, delta %d edges)\n",
 				i, m.Size(), m.Evictions(), added, m.DeltaEdges())
 		}
 	}
 	if err := m.Verify(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("invariant verified: the maintained set is independent")
+	fmt.Fprintln(out, "invariant verified: the maintained set is independent")
 
 	// How far did lazy maintenance drift from a fresh solve?
 	mat := filepath.Join(dir, "materialized.adj")
 	if err := m.Materialize(mat); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mf, err := mis.Open(mat)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer mf.Close()
 	fresh, err := mf.Greedy()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	improved, err := mf.TwoKSwap(fresh, mis.SwapOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("maintained: %d   fresh greedy: %d   fresh two-k-swap: %d (%.2f%% drift)\n",
+	fmt.Fprintf(out, "maintained: %d   fresh greedy: %d   fresh two-k-swap: %d (%.2f%% drift)\n",
 		m.Size(), fresh.Size, improved.Size,
 		100*float64(improved.Size-m.Size())/float64(improved.Size))
+	return nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the streaming maintainer on a small update stream.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 3000, 2000, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "invariant verified: the maintained set is independent") {
+		t.Fatalf("missing invariant line in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "fresh two-k-swap:") {
+		t.Fatalf("missing drift comparison in output:\n%s", out.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gio"
 )
 
@@ -11,8 +12,9 @@ import (
 // algorithms scan. It accumulates I/O statistics across every operation run
 // against it. File is not safe for concurrent use.
 type File struct {
-	inner *gio.File
-	stats gio.Stats
+	inner   *gio.File
+	stats   gio.Stats
+	workers int
 }
 
 // OpenOption customizes Open.
@@ -20,6 +22,7 @@ type OpenOption func(*openConfig)
 
 type openConfig struct {
 	blockSize int
+	workers   int
 }
 
 // WithBlockSize sets the buffered I/O block size (the B of the paper's I/O
@@ -28,20 +31,50 @@ func WithBlockSize(b int) OpenOption {
 	return func(c *openConfig) { c.blockSize = b }
 }
 
+// WithWorkers sets the file's default scan parallelism: the number of
+// goroutines that decode partitions of the file concurrently during the
+// scan-bound passes (Greedy, the swap algorithms' scans, verification,
+// bounds). Results are bit-identical to sequential scans — partitions are
+// merged back into scan order — so this is purely a throughput knob. 1 (the
+// default) keeps every pass on the single-stream engine; ≤ 0 selects
+// GOMAXPROCS. See SwapOptions.Workers for a per-call override.
+func WithWorkers(n int) OpenOption {
+	return func(c *openConfig) { c.workers = n }
+}
+
 // Open opens an adjacency file produced by Builder.WriteFile,
 // GeneratePowerLawFile, ImportEdgeList or SortFileByDegree.
 func Open(path string, opts ...OpenOption) (*File, error) {
-	var cfg openConfig
+	cfg := openConfig{workers: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	f := &File{}
+	f := &File{workers: cfg.workers}
 	inner, err := gio.Open(path, cfg.blockSize, &f.stats)
 	if err != nil {
 		return nil, err
 	}
 	f.inner = inner
 	return f, nil
+}
+
+// SetWorkers changes the file's default scan parallelism (see WithWorkers).
+func (f *File) SetWorkers(n int) { f.workers = n }
+
+// Workers returns the file's default scan parallelism.
+func (f *File) Workers() int { return f.workers }
+
+// source returns the scan engine for a pass: the sequential file itself, or
+// a parallel partitioned executor over it. workers == 0 selects the file's
+// default; 1 is sequential; ≤ -1 selects GOMAXPROCS.
+func (f *File) source(workers int) core.Source {
+	if workers == 0 {
+		workers = f.workers
+	}
+	if workers == 1 {
+		return f.inner
+	}
+	return exec.New(f.inner, workers)
 }
 
 // Close closes the file.
@@ -82,7 +115,7 @@ func (f *File) ResetStats() { f.stats = gio.Stats{} }
 // On a degree-sorted file this is the paper's GREEDY; on an unsorted file it
 // is the BASELINE competitor.
 func (f *File) Greedy() (*Result, error) {
-	r, err := core.Greedy(f.inner)
+	r, err := core.Greedy(f.source(0))
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +128,7 @@ func (f *File) OneKSwap(initial *Result, opts SwapOptions) (*Result, error) {
 	if initial == nil {
 		return nil, fmt.Errorf("mis: one-k-swap: nil initial set")
 	}
-	r, err := core.OneKSwap(f.inner, initial.InSet, opts.internal())
+	r, err := core.OneKSwap(f.source(opts.Workers), initial.InSet, opts.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +140,7 @@ func (f *File) TwoKSwap(initial *Result, opts SwapOptions) (*Result, error) {
 	if initial == nil {
 		return nil, fmt.Errorf("mis: two-k-swap: nil initial set")
 	}
-	r, err := core.TwoKSwap(f.inner, initial.InSet, opts.internal())
+	r, err := core.TwoKSwap(f.source(opts.Workers), initial.InSet, opts.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +162,7 @@ func (f *File) DynamicUpdate() (*Result, error) {
 // processing through an external priority queue (the paper's STXXL
 // competitor).
 func (f *File) ExternalMaximal() (*Result, error) {
-	r, err := core.ExternalMaximal(f.inner, core.ExternalMaximalOptions{})
+	r, err := core.ExternalMaximal(f.source(0), core.ExternalMaximalOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -139,16 +172,16 @@ func (f *File) ExternalMaximal() (*Result, error) {
 // UpperBound runs Algorithm 5: a one-scan upper bound on the independence
 // number, the denominator of the paper's approximation ratios.
 func (f *File) UpperBound() (uint64, error) {
-	return core.UpperBound(f.inner)
+	return core.UpperBound(f.source(0))
 }
 
 // VerifyIndependent checks that no edge has both endpoints in the result.
 func (f *File) VerifyIndependent(r *Result) error {
-	return core.VerifyIndependent(f.inner, r.InSet)
+	return core.VerifyIndependent(f.source(0), r.InSet)
 }
 
 // VerifyMaximal checks that every vertex outside the result has a neighbor
 // inside it.
 func (f *File) VerifyMaximal(r *Result) error {
-	return core.VerifyMaximal(f.inner, r.InSet)
+	return core.VerifyMaximal(f.source(0), r.InSet)
 }

@@ -39,6 +39,9 @@ type Config struct {
 	// ScanBenchOut is where the scanbench experiment writes its
 	// machine-readable BENCH_scan.json; empty selects the work directory.
 	ScanBenchOut string
+	// ParScanBenchOut is where the parscanbench experiment writes its
+	// machine-readable BENCH_parscan.json; empty selects the work directory.
+	ParScanBenchOut string
 
 	mu        sync.Mutex
 	files     map[string]string // cached generated graph files by key
@@ -120,6 +123,7 @@ func Experiments() map[string]func(*Config) error {
 		"ablation-pq":           AblationPQ,
 		"ablation-randomaccess": AblationRandomAccess,
 		"scanbench":             ScanBench,
+		"parscanbench":          ParScanBench,
 	}
 }
 
@@ -130,6 +134,6 @@ func Order() []string {
 		"table1", "table2", "fig6", "table4", "table5", "table6", "table7",
 		"table8", "table9", "fig5", "fig8", "fig9", "fig10", "lemma1",
 		"ablation-io", "ablation-earlystop", "ablation-sort", "ablation-pq",
-		"ablation-randomaccess", "scanbench",
+		"ablation-randomaccess", "scanbench", "parscanbench",
 	}
 }

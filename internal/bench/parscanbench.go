@@ -1,0 +1,176 @@
+// Parscanbench measures raw scan throughput of the parallel partitioned
+// executor (internal/exec) across worker counts, against the single-stream
+// block-pipelined engine as the workers=1 baseline, and emits a
+// machine-readable BENCH_parscan.json so the parallel-scan trajectory is
+// tracked across PRs.
+//
+// Methodology: one graph, two file formats (raw and varint/gap compressed),
+// five trials per (format, workers) cell, best-of reported. Every
+// measurement is a full ForEachBatch pass folding record IDs and degrees
+// into a sink, i.e. the same access pattern as the migrated algorithm
+// passes' cheapest consumer. The partition plan is warmed before timing so
+// the numbers isolate steady-state scan throughput (the plan is built once
+// per file and amortized over every subsequent scan). NumCPU is recorded
+// because the executor parallelizes decode CPU, not disk: on a single-core
+// host the sweep measures overhead (expect ≈1x), while the ≥4-core speedup
+// target needs ≥4 hardware threads to be observable.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/gio"
+	"repro/internal/plrg"
+)
+
+// parScanWorkers is the sweep; 1 is the single-stream baseline.
+var parScanWorkers = []int{1, 2, 4, 7}
+
+// ParScanBenchResult is one (file format, worker count) measurement.
+type ParScanBenchResult struct {
+	Format  string  `json:"format"`  // "raw" or "compressed"
+	Workers int     `json:"workers"` // 1 = single-stream engine
+	Bytes   int64   `json:"bytes"`   // payload scanned per pass
+	NsPerOp int64   `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s"`
+}
+
+// ParScanBenchReport is the BENCH_parscan.json document.
+type ParScanBenchReport struct {
+	Go        string               `json:"go"`
+	NumCPU    int                  `json:"num_cpu"`
+	Vertices  int                  `json:"vertices"`
+	Edges     int                  `json:"edges"`
+	BlockSize int                  `json:"block_size"`
+	Trials    int                  `json:"trials"`
+	Results   []ParScanBenchResult `json:"results"`
+	// Speedup is executor-over-single-stream throughput per format at
+	// 4 workers, the headline number (meaningful on ≥4-core hosts).
+	Speedup map[string]float64 `json:"speedup_at_4_workers"`
+}
+
+// ParScanBench runs the worker sweep and writes BENCH_parscan.json (to
+// cfg.ParScanBenchOut, or the work directory when unset).
+func ParScanBench(cfg *Config) error {
+	cfg = cfg.withDefaults()
+	n := cfg.SweepVertices * 4
+	g := plrg.PowerLawN(n, 2.0, cfg.Seed)
+
+	rawPath, err := cfg.cachedFile(fmt.Sprintf("scanbench-raw-n%d", n), func(path string) error {
+		return gio.WriteGraph(path, g, nil, 0, nil)
+	})
+	if err != nil {
+		return err
+	}
+	compPath, err := cfg.cachedFile(fmt.Sprintf("scanbench-comp-n%d", n), func(path string) error {
+		return gio.WriteGraph(path, g, nil, gio.FlagCompressed, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	const trials = 5
+	report := ParScanBenchReport{
+		Go:        runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		BlockSize: gio.DefaultBlockSize,
+		Trials:    trials,
+		Speedup:   map[string]float64{},
+	}
+
+	files := []struct{ format, path string }{
+		{"raw", rawPath},
+		{"compressed", compPath},
+	}
+	best := map[string]float64{} // format/workers → MB/s
+	for _, fl := range files {
+		f, err := gio.Open(fl.path, 0, nil)
+		if err != nil {
+			return err
+		}
+		size, err := f.SizeBytes()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		payload := size - gio.HeaderSize
+		// Warm the partition plan outside the timed region.
+		if _, err := f.Partitions(2); err != nil {
+			f.Close()
+			return err
+		}
+		for _, workers := range parScanWorkers {
+			ex := exec.New(f, workers)
+			var bestNs int64
+			for t := 0; t < trials; t++ {
+				ns, err := timeParScan(ex)
+				if err != nil {
+					f.Close()
+					return err
+				}
+				if bestNs == 0 || ns < bestNs {
+					bestNs = ns
+				}
+			}
+			mbps := float64(payload) / (float64(bestNs) / 1e9) / 1e6
+			best[fmt.Sprintf("%s/%d", fl.format, workers)] = mbps
+			report.Results = append(report.Results, ParScanBenchResult{
+				Format:  fl.format,
+				Workers: workers,
+				Bytes:   payload,
+				NsPerOp: bestNs,
+				MBPerS:  mbps,
+			})
+			cfg.printf("%-11s workers=%d %8.1f MB/s\n", fl.format, workers, mbps)
+		}
+		f.Close()
+	}
+	for _, fl := range files {
+		report.Speedup[fl.format] = best[fl.format+"/4"] / best[fl.format+"/1"]
+	}
+	cfg.printf("speedup at 4 workers (vs single-stream): raw %.2fx, compressed %.2fx (host has %d CPUs)\n",
+		report.Speedup["raw"], report.Speedup["compressed"], report.NumCPU)
+
+	out := cfg.ParScanBenchOut
+	if out == "" {
+		out = filepath.Join(cfg.WorkDir, "BENCH_parscan.json")
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	cfg.printf("wrote %s\n", out)
+	return nil
+}
+
+// timeParScan measures one full executor scan folding IDs and degrees.
+func timeParScan(ex *exec.Executor) (int64, error) {
+	var sink uint64
+	start := time.Now()
+	err := ex.ForEachBatch(func(batch []gio.Record) error {
+		for _, r := range batch {
+			sink += uint64(r.ID) + uint64(len(r.Neighbors))
+		}
+		return nil
+	})
+	elapsed := time.Since(start).Nanoseconds()
+	if err != nil {
+		return 0, err
+	}
+	if sink == 0 && ex.NumVertices() > 0 {
+		return 0, fmt.Errorf("bench: parallel scan of %s decoded nothing", ex.File().Path())
+	}
+	return elapsed, nil
+}

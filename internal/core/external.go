@@ -26,7 +26,7 @@ type ExternalMaximalOptions struct {
 //
 // The algorithm guarantees maximality only — not size — which is exactly
 // the gap the paper's swap algorithms close.
-func ExternalMaximal(f *gio.File, opts ExternalMaximalOptions) (*Result, error) {
+func ExternalMaximal(f Source, opts ExternalMaximalOptions) (*Result, error) {
 	n := f.NumVertices()
 	snap := snapshot(f.Stats())
 

@@ -12,7 +12,7 @@ import (
 // on an unsorted file it degenerates into the Baseline competitor. Greedy
 // performs exactly one sequential scan and keeps one byte of state per
 // vertex; the result is always a maximal independent set.
-func Greedy(f *gio.File) (*Result, error) {
+func Greedy(f Source) (*Result, error) {
 	n := f.NumVertices()
 	states := semiext.NewStates(n)
 	snap := snapshot(f.Stats())
@@ -52,6 +52,6 @@ func Greedy(f *gio.File) (*Result, error) {
 // competitor). Functionally identical to Greedy; the distinction is the
 // input file's order, so this wrapper exists to make call sites
 // self-describing and to warn when it is handed a degree-sorted file.
-func Baseline(f *gio.File) (*Result, error) {
+func Baseline(f Source) (*Result, error) {
 	return Greedy(f)
 }

@@ -63,7 +63,7 @@ var ErrNotIndependent = errors.New("core: initial set is not independent")
 // scan-order preemption), an in-memory swap step, and a post-swap scan
 // (0↔1 swaps and state recomputation). Only sequential scans touch the
 // file; memory stays at a few words per vertex.
-func OneKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
+func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	n := f.NumVertices()
 	if len(initial) != n {
 		return nil, fmt.Errorf("core: one-k-swap: initial set has %d entries for %d vertices", len(initial), n)
@@ -156,7 +156,7 @@ func OneKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
 
 // oneKRound executes one round: pre-swap scan, swap step, post-swap scan.
 // It reports whether any swap fired (an R vertex left the set).
-func oneKRound(f *gio.File, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int) (bool, error) {
+func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int) (bool, error) {
 	// Pre-swap scan (Algorithm 2 lines 7–14).
 	err := f.ForEachBatch(func(batch []gio.Record) error {
 	records:
@@ -242,7 +242,7 @@ func oneKRound(f *gio.File, states semiext.States, isn *semiext.ISN, opts SwapOp
 // other) and must become A, or later swap opportunities are lost — the
 // cascade-swap graph of Figure 5 cannot progress past its first group
 // otherwise, contradicting the paper's own worst-case analysis.
-func postSwapScan(f *gio.File, states semiext.States, isn *semiext.ISN, two bool) error {
+func postSwapScan(f Source, states semiext.States, isn *semiext.ISN, two bool) error {
 	return f.ForEachBatch(func(batch []gio.Record) error {
 	records:
 		for _, r := range batch {
@@ -301,7 +301,7 @@ func postSwapScan(f *gio.File, states semiext.States, isn *semiext.ISN, two bool
 // condition left isolated candidates behind. A single sequential scan
 // suffices: a vertex skipped here has an IS neighbor, and additions only
 // give later vertices more IS neighbors.
-func maximalitySweep(f *gio.File, states semiext.States) error {
+func maximalitySweep(f Source, states semiext.States) error {
 	return f.ForEachBatch(func(batch []gio.Record) error {
 	records:
 		for _, r := range batch {

@@ -55,7 +55,7 @@ func pairKey(w1, w2 uint32) uint64 {
 // adjacency list and rolls back a whole skeleton group if two passengers
 // from different groups turn out to be adjacent — an edge no SC pair ever
 // examined. See DESIGN.md §3.3 for why rollback is confined to one group.
-func TwoKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
+func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	n := f.NumVertices()
 	if len(initial) != n {
 		return nil, fmt.Errorf("core: two-k-swap: initial set has %d entries for %d vertices", len(initial), n)
@@ -170,7 +170,7 @@ func TwoKSwap(f *gio.File, initial []bool, opts SwapOptions) (*Result, error) {
 
 // round executes pre-swap, swap (validating) and post-swap scans, reporting
 // whether any swap fired.
-func (st *twoKState) round(f *gio.File, opts SwapOptions, round int) (bool, error) {
+func (st *twoKState) round(f Source, opts SwapOptions, round int) (bool, error) {
 	st.groups = st.groups[:0]
 	for i := range st.groupOf {
 		st.groupOf[i] = -1
@@ -198,7 +198,7 @@ func (st *twoKState) round(f *gio.File, opts SwapOptions, round int) (bool, erro
 }
 
 // preSwapScan runs Algorithm 4 for every A vertex in scan order.
-func (st *twoKState) preSwapScan(f *gio.File) error {
+func (st *twoKState) preSwapScan(f Source) error {
 	nbrSet := make(map[uint32]struct{})
 	return f.ForEachBatch(func(batch []gio.Record) error {
 	records:
@@ -413,7 +413,7 @@ func (st *twoKState) newGroup(ws ...uint32) int32 {
 // P vertices are confirmed to I unless an I neighbor shows a cross-group
 // passenger collision, in which case the whole group rolls back; R vertices
 // leave the set unless their group failed.
-func (st *twoKState) swapScan(f *gio.File) (bool, error) {
+func (st *twoKState) swapScan(f Source) (bool, error) {
 	canSwap := false
 	err := f.ForEachBatch(func(batch []gio.Record) error {
 	records:

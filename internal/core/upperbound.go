@@ -13,7 +13,7 @@ import (
 // and every leaf), and an isolated star contributes one. The experiments use
 // this bound as the denominator of all approximation ratios, exactly as the
 // paper does (it cannot compute exact independence numbers at scale).
-func UpperBound(f *gio.File) (uint64, error) {
+func UpperBound(f Source) (uint64, error) {
 	n := f.NumVertices()
 	visited := make([]bool, n)
 	var bound uint64

@@ -9,7 +9,7 @@ import (
 
 // VerifyIndependent checks, with one sequential scan, that no edge of f has
 // both endpoints in the set.
-func VerifyIndependent(f *gio.File, inSet []bool) error {
+func VerifyIndependent(f Source, inSet []bool) error {
 	if len(inSet) != f.NumVertices() {
 		return fmt.Errorf("core: verify: set has %d entries for %d vertices", len(inSet), f.NumVertices())
 	}
@@ -28,7 +28,7 @@ func VerifyIndependent(f *gio.File, inSet []bool) error {
 
 // VerifyMaximal checks, with one sequential scan, that every vertex outside
 // the set has a neighbor inside it (assuming the set is independent).
-func VerifyMaximal(f *gio.File, inSet []bool) error {
+func VerifyMaximal(f Source, inSet []bool) error {
 	if len(inSet) != f.NumVertices() {
 		return fmt.Errorf("core: verify: set has %d entries for %d vertices", len(inSet), f.NumVertices())
 	}

@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gio"
+)
+
+// The migrated algorithm passes must be oblivious to the scan engine: every
+// result field — the set itself, round trace, memory accounting and the I/O
+// statistics the paper's tables report — must be bit-identical between the
+// sequential oracle and the parallel executor at every worker count.
+
+func openPair(t *testing.T, path string) (seq, par *gio.File) {
+	t.Helper()
+	var s1, s2 gio.Stats
+	seq, err := gio.Open(path, 0, &s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seq.Close() })
+	par, err = gio.Open(path, 0, &s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { par.Close() })
+	return seq, par
+}
+
+func TestAlgorithmParity(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name       string
+		compressed bool
+	}{
+		{"raw", false},
+		{"compressed", true},
+	} {
+		g := randomGraph(77, 4000, 24000)
+		path := writeFile(t, dir, g, tc.compressed, tc.name+".adj")
+		t.Run(tc.name, func(t *testing.T) {
+			for _, workers := range parityWorkers {
+				seqF, parF := openPair(t, path)
+				ex := New(parF, workers)
+
+				wantG, err := core.Greedy(seqF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotG, err := core.Greedy(ex)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertResultsEqual(t, fmt.Sprintf("greedy workers=%d", workers), gotG, wantG)
+
+				wantOne, err := core.OneKSwap(seqF, wantG.InSet, core.SwapOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotOne, err := core.OneKSwap(ex, gotG.InSet, core.SwapOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertResultsEqual(t, fmt.Sprintf("one-k-swap workers=%d", workers), gotOne, wantOne)
+
+				wantTwo, err := core.TwoKSwap(seqF, wantG.InSet, core.SwapOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotTwo, err := core.TwoKSwap(ex, gotG.InSet, core.SwapOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertResultsEqual(t, fmt.Sprintf("two-k-swap workers=%d", workers), gotTwo, wantTwo)
+
+				wantUB, err := core.UpperBound(seqF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotUB, err := core.UpperBound(ex)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotUB != wantUB {
+					t.Fatalf("upper bound workers=%d: got %d, want %d", workers, gotUB, wantUB)
+				}
+
+				wantDeg, err := gio.ReadDegrees(seqF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotDeg, err := gio.ReadDegrees(ex)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotDeg, wantDeg) {
+					t.Fatalf("degrees workers=%d: mismatch", workers)
+				}
+
+				if err := core.VerifyIndependent(ex, gotTwo.InSet); err != nil {
+					t.Fatal(err)
+				}
+				if err := core.VerifyMaximal(ex, gotTwo.InSet); err != nil {
+					t.Fatal(err)
+				}
+				if err := core.VerifyIndependent(seqF, wantTwo.InSet); err != nil {
+					t.Fatal(err)
+				}
+				if err := core.VerifyMaximal(seqF, wantTwo.InSet); err != nil {
+					t.Fatal(err)
+				}
+
+				// The files accumulated identical scan statistics overall.
+				if *seqF.Stats() != *parF.Stats() {
+					t.Fatalf("workers=%d: file stats diverged:\n seq %+v\n par %+v",
+						workers, *seqF.Stats(), *parF.Stats())
+				}
+			}
+		})
+	}
+}
+
+func assertResultsEqual(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.InSet, want.InSet) {
+		t.Fatalf("%s: InSet differs", label)
+	}
+	if got.Size != want.Size || got.Rounds != want.Rounds {
+		t.Fatalf("%s: size/rounds (%d, %d) vs (%d, %d)", label, got.Size, got.Rounds, want.Size, want.Rounds)
+	}
+	if !reflect.DeepEqual(got.RoundGains, want.RoundGains) {
+		t.Fatalf("%s: RoundGains %v vs %v", label, got.RoundGains, want.RoundGains)
+	}
+	if got.SCHighWater != want.SCHighWater {
+		t.Fatalf("%s: SCHighWater %d vs %d", label, got.SCHighWater, want.SCHighWater)
+	}
+	if got.MemoryBytes != want.MemoryBytes {
+		t.Fatalf("%s: MemoryBytes %d vs %d", label, got.MemoryBytes, want.MemoryBytes)
+	}
+	if got.IO != want.IO {
+		t.Fatalf("%s: IO stats:\n got  %+v\n want %+v", label, got.IO, want.IO)
+	}
+}

@@ -1,0 +1,242 @@
+// Package exec implements the parallel partitioned scan executor: it splits
+// an adjacency file into record-aligned byte-range partitions (planned once
+// per file from batch-boundary cut points), fans the block-pipelined batch
+// decoding out across a pool of worker goroutines, and merges the decoded
+// batches back into exact sequential scan order for a single consumer
+// callback.
+//
+// The design keeps the sequential engine as the oracle: because batches are
+// delivered to the callback in global record order on the calling goroutine,
+// every pass migrated onto the executor — order-dependent ones like the
+// greedy marking scan included — produces bit-identical results to a plain
+// File.ForEachBatch. Parallelism accelerates only the decode (varint/gap
+// expansion, fixed-width neighbor copies), which is where scan-bound passes
+// spend their cycles; see the parity tests for the enforced equivalences and
+// BENCH_parscan.json for the measured throughput.
+//
+// Fallbacks preserve oracle behavior exactly: workers ≤ 1, files too small
+// to split, and files whose partition planning fails (malformed input) all
+// run the ordinary sequential scan, reproducing its records, error and Stats
+// byte for byte.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gio"
+)
+
+const (
+	// partitionsPerWorker oversplits the file relative to the worker count
+	// so that a skewed partition (one hub vertex's huge record) does not
+	// serialize the tail of the scan: workers grab partitions dynamically.
+	partitionsPerWorker = 2
+	// partitionChanDepth bounds decoded-but-unconsumed batches per
+	// partition, keeping memory at O(workers · batch) while letting workers
+	// run ahead of the consumer.
+	partitionChanDepth = 4
+)
+
+// Executor runs scans of one file with a fixed degree of parallelism. It is
+// cheap to construct (partition plans are cached on the File) and satisfies
+// the same scan interface as *gio.File, so algorithm passes accept either.
+// Like the File it wraps, an Executor must not be used concurrently with
+// itself or with other scans of the same file.
+type Executor struct {
+	f       *gio.File
+	workers int
+}
+
+// New returns an executor over f using the given number of decode workers.
+// workers ≤ 0 selects GOMAXPROCS; workers == 1 is the sequential engine.
+func New(f *gio.File, workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{f: f, workers: workers}
+}
+
+// Workers returns the configured degree of parallelism.
+func (e *Executor) Workers() int { return e.workers }
+
+// File returns the underlying file.
+func (e *Executor) File() *gio.File { return e.f }
+
+// NumVertices returns the vertex count from the file header.
+func (e *Executor) NumVertices() int { return e.f.NumVertices() }
+
+// Header returns the file header.
+func (e *Executor) Header() gio.Header { return e.f.Header() }
+
+// Stats returns the file's shared I/O statistics, which may be nil.
+func (e *Executor) Stats() *gio.Stats { return e.f.Stats() }
+
+// ForEach runs one full scan, invoking fn for every record in scan order.
+func (e *Executor) ForEach(fn func(gio.Record) error) error {
+	return e.ForEachBatch(func(batch []gio.Record) error {
+		for i := range batch {
+			if err := fn(batch[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForEachBatch runs one full scan, invoking fn for every decoded batch in
+// scan order on the calling goroutine. With workers > 1 the batches are
+// decoded concurrently by partition workers and merged deterministically;
+// the record sequence, the first error (fn's or the decoder's, whichever
+// comes first in scan order) and the completed scan's Stats are identical to
+// gio.File.ForEachBatch. Batch boundaries may differ from the sequential
+// engine's — no pass may depend on them. fn must not retain a batch or its
+// Neighbors slices past the call.
+func (e *Executor) ForEachBatch(fn func([]gio.Record) error) error {
+	if e.workers <= 1 {
+		return e.f.ForEachBatch(fn)
+	}
+	parts, err := e.f.Partitions(e.workers * partitionsPerWorker)
+	if err != nil || len(parts) < 2 {
+		// Malformed input (planning failed) or a file too small to split:
+		// the sequential engine is the oracle, run it verbatim.
+		return e.f.ForEachBatch(fn)
+	}
+	return e.runParallel(parts, fn)
+}
+
+// batchMsg carries one decoded batch (or a partition's terminal status) from
+// a worker to the consumer. recs and arena transfer ownership with the
+// message; the consumer recycles them through the buffer pool.
+type batchMsg struct {
+	recs  []gio.Record
+	arena []uint32
+	err   error
+	last  bool
+}
+
+// batchBufs is a recycled (record slice, neighbor arena) pair.
+type batchBufs struct {
+	recs  []gio.Record
+	arena []uint32
+}
+
+func (e *Executor) runParallel(parts []gio.Partition, fn func([]gio.Record) error) error {
+	nw := e.workers
+	if nw > len(parts) {
+		nw = len(parts)
+	}
+	chans := make([]chan batchMsg, len(parts))
+	for i := range chans {
+		chans[i] = make(chan batchMsg, partitionChanDepth)
+	}
+	quit := make(chan struct{})
+	pool := &sync.Pool{New: func() any { return &batchBufs{} }}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				if !e.scanPartition(parts[i], chans[i], quit, pool) {
+					return
+				}
+			}
+		}()
+	}
+
+	// Consume partitions in order; within a partition, batches arrive in
+	// order. The merged invocation sequence is therefore the sequential scan
+	// order, and the earliest error in that order wins — exactly the
+	// sequential engine's stopping point.
+	st := e.f.Stats()
+	consumedEnd := int64(gio.HeaderSize) // end offset of the last fully consumed partition
+	var runErr error
+consume:
+	for i := range chans {
+		for {
+			msg := <-chans[i]
+			if msg.last {
+				if msg.err != nil {
+					runErr = msg.err
+					break consume
+				}
+				consumedEnd = parts[i].EndOffset
+				break
+			}
+			if st != nil {
+				st.RecordsRead += uint64(len(msg.recs))
+			}
+			if err := fn(msg.recs); err != nil {
+				runErr = err
+				break consume
+			}
+			pool.Put(&batchBufs{recs: msg.recs, arena: msg.arena})
+		}
+	}
+	close(quit)
+	wg.Wait()
+
+	// Account what the sequential engine would have counted: it consumes
+	// ceil(covered/B) blocks to reach the last record's end byte, every block
+	// full-sized except a final one clipped at end of file. A completed scan
+	// covers the whole payload and its accounting is identical to the
+	// sequential engine's; a scan stopped by an error covers the fully
+	// consumed partition prefix, a deterministic lower bound on what the
+	// sequential engine would have counted before the same stopping point
+	// (the exact figure depends on its batch boundaries). Scans counts
+	// completed scans only, exactly like the sequential engine.
+	if st != nil {
+		if runErr == nil {
+			consumedEnd = parts[len(parts)-1].EndOffset
+		}
+		covered := consumedEnd - gio.HeaderSize
+		if b := int64(e.f.BlockSize()); covered > 0 {
+			blocks := (covered + b - 1) / b
+			bytes := blocks * b
+			if size, err := e.f.SizeBytes(); err == nil && bytes > size-gio.HeaderSize {
+				bytes = size - gio.HeaderSize
+			}
+			st.BlocksRead += uint64(blocks)
+			st.BytesRead += uint64(bytes)
+		}
+		if runErr == nil {
+			st.Scans++
+		}
+	}
+	return runErr
+}
+
+// scanPartition decodes one partition, shipping each batch (with its
+// ownership-transferred buffers) to ch, then a terminal message carrying the
+// partition's scan error. It reports false when the run was cancelled.
+func (e *Executor) scanPartition(p gio.Partition, ch chan<- batchMsg, quit <-chan struct{}, pool *sync.Pool) bool {
+	sc := e.f.ScanPartition(p)
+	defer sc.Close()
+	for {
+		batch := sc.NextBatch()
+		if batch == nil {
+			break
+		}
+		bufs := pool.Get().(*batchBufs)
+		recs, arena := sc.SwapBuffers(bufs.recs, bufs.arena)
+		select {
+		case ch <- batchMsg{recs: recs, arena: arena}:
+		case <-quit:
+			return false
+		}
+	}
+	select {
+	case ch <- batchMsg{err: sc.Err(), last: true}:
+		return true
+	case <-quit:
+		return false
+	}
+}

@@ -118,7 +118,7 @@ func (s *Scanner) uvarint() (uint64, error) {
 // accept and reject byte-identical inputs.
 func (s *Scanner) fillCompressed() {
 	h := s.file.header
-	for s.read < h.Vertices && len(s.recs) < batchMaxRecords && len(s.arena) < batchTargetInts {
+	for s.read < s.limit && len(s.recs) < batchMaxRecords && len(s.arena) < batchTargetInts {
 		var id64, deg64 uint64
 		if s.pending {
 			id64, deg64 = s.pendingID, s.pendingDeg

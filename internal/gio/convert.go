@@ -103,10 +103,18 @@ func LoadGraph(path string, stats *Stats) (*graph.Graph, error) {
 	return b.Build(), nil
 }
 
+// BatchSource is the slice of the scan interface the degree pass needs.
+// Both *File and the parallel partitioned executor (internal/exec) satisfy
+// it, so degree collection can run on either engine.
+type BatchSource interface {
+	NumVertices() int
+	ForEachBatch(fn func([]Record) error) error
+}
+
 // ReadDegrees scans the file once and returns the degree of every vertex,
 // indexed by vertex ID. This is an O(|V|) in-memory structure allowed by the
 // semi-external model.
-func ReadDegrees(f *File) ([]uint32, error) {
+func ReadDegrees(f BatchSource) ([]uint32, error) {
 	deg := make([]uint32, f.NumVertices())
 	err := f.ForEachBatch(func(batch []Record) error {
 		for _, r := range batch {

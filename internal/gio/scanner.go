@@ -19,6 +19,12 @@ type File struct {
 	blockSize int
 	stats     *Stats
 	active    *prefetcher // the current scan's block pipeline, if any
+
+	// Cached partition-planning cut table (see Partitions). Built lazily by
+	// the first Partitions call with one side scan through a separate file
+	// handle; reused for every worker count afterwards.
+	cuts    *cutTable
+	cutsErr error
 }
 
 // Open opens an adjacency file for scanning. stats may be nil; blockSize
@@ -58,6 +64,9 @@ func (g *File) NumEdges() uint64 { return g.header.Edges }
 
 // Stats returns the shared I/O statistics, which may be nil.
 func (g *File) Stats() *Stats { return g.stats }
+
+// BlockSize returns the buffered-I/O block size used for scans.
+func (g *File) BlockSize() int { return g.blockSize }
 
 // SizeBytes returns the on-disk size of the file.
 func (g *File) SizeBytes() (int64, error) {
@@ -120,7 +129,17 @@ type Scanner struct {
 	pending               bool
 	pendingID, pendingDeg uint64
 
-	read uint64 // records decoded so far this scan
+	read    uint64 // global index of the next record to decode
+	limit   uint64 // decode records while read < limit
+	fetched uint64 // payload bytes appended to the window so far
+	baseOff int64  // absolute file offset the window started at
+
+	// detached marks a partition scanner (File.ScanPartition): it shares the
+	// file's descriptor through positional reads but is not the file's active
+	// scan and never touches the file's Stats, so several detached scanners
+	// can run concurrently on worker goroutines.
+	detached bool
+
 	err  error
 	done bool
 }
@@ -133,11 +152,54 @@ func (g *File) Scan() (*Scanner, error) {
 	pf := newPrefetcher(g.f, HeaderSize, g.blockSize)
 	g.active = pf
 	return &Scanner{
-		file:  g,
-		pf:    pf,
-		recs:  make([]Record, 0, batchMaxRecords),
-		arena: make([]uint32, 0, batchTargetInts),
+		file:    g,
+		pf:      pf,
+		limit:   g.header.Vertices,
+		baseOff: HeaderSize,
+		recs:    make([]Record, 0, batchMaxRecords),
+		arena:   make([]uint32, 0, batchTargetInts),
 	}, nil
+}
+
+// ScanPartition returns a detached scanner over one partition of the file
+// (see Partitions): records StartRecord..StartRecord+Records-1, decoded from
+// byte offset StartOffset. Detached scanners read through positional I/O
+// only, never touch the file's Stats or active-scan slot, and so may run
+// concurrently with each other on separate goroutines — they are the
+// per-worker engines of the parallel partitioned executor (internal/exec).
+// The caller must Close the scanner if it abandons it before the end of the
+// partition.
+func (g *File) ScanPartition(p Partition) *Scanner {
+	return &Scanner{
+		file:     g,
+		pf:       newPrefetcher(g.f, p.StartOffset, g.blockSize),
+		read:     p.StartRecord,
+		limit:    p.StartRecord + p.Records,
+		baseOff:  p.StartOffset,
+		detached: true,
+		recs:     make([]Record, 0, batchMaxRecords),
+		arena:    make([]uint32, 0, batchTargetInts),
+	}
+}
+
+// SwapBuffers hands the scanner fresh batch storage and returns the current
+// record slice and neighbor arena, transferring their ownership to the
+// caller. It is meant to be called directly after NextBatch by consumers
+// that ship whole batches to another goroutine (the parallel executor):
+// the returned buffers stay valid indefinitely instead of being overwritten
+// by the following NextBatch. The replacement slices may be nil or of any
+// capacity; the scanner grows them as needed.
+func (s *Scanner) SwapBuffers(recs []Record, arena []uint32) ([]Record, []uint32) {
+	oldRecs, oldArena := s.recs, s.arena
+	s.recs, s.arena = recs[:0], arena[:0]
+	s.nextRec = 0
+	return oldRecs, oldArena
+}
+
+// offset returns the absolute file offset of the next undecoded byte. Only
+// meaningful between batches when no record header is parked (!s.pending).
+func (s *Scanner) offset() int64 {
+	return s.baseOff + int64(s.fetched) - int64(len(s.win)-s.pos)
 }
 
 // NextBatch returns the next batch of records in scan order, or nil at end
@@ -190,7 +252,7 @@ func (s *Scanner) fillBatch() {
 	if s.err != nil || s.done {
 		return
 	}
-	if s.read == s.file.header.Vertices {
+	if s.read == s.limit {
 		s.finish()
 		return
 	}
@@ -200,7 +262,7 @@ func (s *Scanner) fillBatch() {
 	} else {
 		s.fillRaw()
 	}
-	if s.file.stats != nil {
+	if s.file.stats != nil && !s.detached {
 		s.file.stats.RecordsRead += uint64(len(s.recs))
 	}
 }
@@ -208,7 +270,7 @@ func (s *Scanner) fillBatch() {
 // fillRaw batch-decodes fixed-width records from the window.
 func (s *Scanner) fillRaw() {
 	h := s.file.header
-	for s.read < h.Vertices && len(s.recs) < batchMaxRecords && len(s.arena) < batchTargetInts {
+	for s.read < s.limit && len(s.recs) < batchMaxRecords && len(s.arena) < batchTargetInts {
 		var id, deg uint64
 		if s.pending {
 			id, deg = s.pendingID, s.pendingDeg
@@ -298,10 +360,11 @@ func (s *Scanner) more() bool {
 		return false
 	}
 	blk := s.pf.next()
-	if st := s.file.stats; st != nil && len(blk.buf) > 0 {
+	if st := s.file.stats; st != nil && !s.detached && len(blk.buf) > 0 {
 		st.BytesRead += uint64(len(blk.buf))
 		st.BlocksRead++
 	}
+	s.fetched += uint64(len(blk.buf))
 	if blk.err != nil {
 		s.ioErr = blk.err
 	}
@@ -331,7 +394,7 @@ func (s *Scanner) finish() {
 		return
 	}
 	s.done = true
-	if s.file.stats != nil {
+	if s.file.stats != nil && !s.detached {
 		s.file.stats.Scans++
 	}
 	s.close()
@@ -351,10 +414,11 @@ func (s *Scanner) fail(err error) {
 // scan mid-file while keeping the File open. Idempotent.
 func (s *Scanner) Close() { s.close() }
 
-// close stops this scan's prefetcher.
+// close stops this scan's prefetcher. Detached scanners never touch the
+// file's active-scan slot: they may close concurrently on worker goroutines.
 func (s *Scanner) close() {
 	s.pf.shutdown()
-	if s.file.active == s.pf {
+	if !s.detached && s.file.active == s.pf {
 		s.file.active = nil
 	}
 }

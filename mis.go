@@ -82,6 +82,12 @@ type SwapOptions struct {
 	// StallRounds stops after this many consecutive zero-gain rounds;
 	// 0 selects 3.
 	StallRounds int
+	// Workers overrides the file's scan parallelism for this call: the
+	// number of goroutines decoding file partitions concurrently during the
+	// algorithm's scans (see WithWorkers). Results are bit-identical for any
+	// value. 0 uses the file's default, 1 forces the sequential engine,
+	// ≤ -1 selects GOMAXPROCS.
+	Workers int
 }
 
 func (o SwapOptions) internal() core.SwapOptions {
