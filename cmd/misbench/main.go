@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workdir    = fs.String("workdir", "", "directory for generated graphs (default: temp)")
 		scanOut    = fs.String("scan-out", "", "path for the scanbench experiment's BENCH_scan.json (default: workdir)")
 		parScanOut = fs.String("parscan-out", "", "path for the parscanbench experiment's BENCH_parscan.json (default: workdir)")
+		force      = fs.Bool("force", false, "let parscanbench overwrite an existing BENCH_parscan.json even on a <4-CPU host")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Out:             stdout,
 		ScanBenchOut:    *scanOut,
 		ParScanBenchOut: *parScanOut,
+		Force:           *force,
 	}
 
 	experiments := bench.Experiments()

@@ -59,7 +59,7 @@ func run(out io.Writer, n int, beta float64) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "%-18s %10s %8s %10s %8s %8s\n", "algorithm", "|IS|", "ratio", "memory", "scans", "time")
+	fmt.Fprintf(out, "%-18s %10s %8s %10s %8s %8s\n", "algorithm", "|IS|", "ratio", "memory", "p.scans", "time")
 	for _, alg := range mis.Algorithms() {
 		f.ResetStats()
 		start := time.Now()
@@ -72,7 +72,7 @@ func run(out io.Writer, n int, beta float64) error {
 			return fmt.Errorf("%s: %w", alg, err)
 		}
 		fmt.Fprintf(out, "%-18s %10d %8.4f %10d %8d %8s\n",
-			alg, r.Size, r.Ratio(bound), r.MemoryBytes, r.IO.Scans,
+			alg, r.Size, r.Ratio(bound), r.MemoryBytes, r.IO.PhysicalScans,
 			elapsed.Round(time.Millisecond))
 	}
 	fmt.Fprintf(out, "\nupper bound on the independence number: %d\n", bound)

@@ -185,3 +185,12 @@ func (f *File) VerifyIndependent(r *Result) error {
 func (f *File) VerifyMaximal(r *Result) error {
 	return core.VerifyMaximal(f.source(0), r.InSet)
 }
+
+// Verify checks independence and maximality together. The two checks are
+// logical passes the scan scheduler fuses into a single physical scan —
+// half the I/O of calling VerifyIndependent and VerifyMaximal back to back
+// — with an independence violation reported first, exactly as the
+// sequential calls would.
+func (f *File) Verify(r *Result) error {
+	return core.VerifyBoth(f.source(0), r.InSet)
+}

@@ -160,7 +160,10 @@ func AblationRandomAccess(cfg *Config) error {
 	if err != nil {
 		return err
 	}
-	seqScans := stats.Scans
+	// The §4.1 Remark is about passes over the disk, so count physical
+	// scans: greedy's marking pass and its fused degree/stat rider share
+	// one.
+	seqScans := stats.PhysicalScans
 	dyn, raStats, err := core.DynamicUpdateSemiExternal(f)
 	if err != nil {
 		return err

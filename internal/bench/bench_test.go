@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -114,6 +116,33 @@ func TestTable5Shape(t *testing.T) {
 		if r.memGreedy >= r.memOne || r.memOne > r.memTwo {
 			t.Errorf("%s: memory ordering violated: greedy=%d one=%d two=%d",
 				r.name, r.memGreedy, r.memOne, r.memTwo)
+		}
+	}
+}
+
+func TestParScanOverwriteGuard(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "absent.json")
+	existing := filepath.Join(dir, "BENCH_parscan.json")
+	if err := os.WriteFile(existing, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		out     string
+		numCPU  int
+		force   bool
+		wantErr bool
+	}{
+		{"small-host-existing", existing, 1, false, true},
+		{"small-host-existing-3cpu", existing, 3, false, true},
+		{"small-host-forced", existing, 1, true, false},
+		{"small-host-fresh-path", missing, 1, false, false},
+		{"big-host-existing", existing, 4, false, false},
+	} {
+		err := parScanOverwriteGuard(tc.out, tc.numCPU, tc.force)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
 		}
 	}
 }

@@ -42,6 +42,11 @@ type Config struct {
 	// ParScanBenchOut is where the parscanbench experiment writes its
 	// machine-readable BENCH_parscan.json; empty selects the work directory.
 	ParScanBenchOut string
+	// Force lets parscanbench overwrite an existing BENCH_parscan.json even
+	// on a host with fewer than 4 CPUs, where the sweep can only measure
+	// scheduling overhead and would clobber a meaningful multi-core artifact
+	// with a meaningless one. Without it, such a run refuses to overwrite.
+	Force bool
 
 	mu        sync.Mutex
 	files     map[string]string // cached generated graph files by key

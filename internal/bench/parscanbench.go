@@ -144,6 +144,9 @@ func ParScanBench(cfg *Config) error {
 	if out == "" {
 		out = filepath.Join(cfg.WorkDir, "BENCH_parscan.json")
 	}
+	if err := parScanOverwriteGuard(out, report.NumCPU, cfg.Force); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
 		return err
@@ -152,6 +155,23 @@ func ParScanBench(cfg *Config) error {
 		return err
 	}
 	cfg.printf("wrote %s\n", out)
+	return nil
+}
+
+// parScanOverwriteGuard refuses to clobber an existing BENCH_parscan.json
+// from a host with fewer than 4 CPUs: such a host cannot measure the
+// multi-core decode speedup the artifact exists to track (the PR 2 artifact
+// came from a 1-CPU container and records overhead, not speedup), so an
+// unforced run there must not replace a meaningful measurement with a
+// meaningless one.
+func parScanOverwriteGuard(out string, numCPU int, force bool) error {
+	if numCPU >= 4 || force {
+		return nil
+	}
+	if _, err := os.Stat(out); err == nil {
+		return fmt.Errorf("bench: refusing to overwrite %s from a %d-CPU host (<4): "+
+			"the sweep only measures scheduling overhead here; pass -force to override", out, numCPU)
+	}
 	return nil
 }
 

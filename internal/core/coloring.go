@@ -54,22 +54,22 @@ func ColorByIS(f *gio.File, maxColors int) (*Coloring, error) {
 				maxColors, remaining)
 		}
 		// One scan: greedy maximal IS over uncolored vertices.
-		for v := range states {
+		for v := 0; v < n; v++ {
 			if colors[v] == NoColor {
-				states[v] = semiext.StateInitial
+				states.Set(uint32(v), semiext.StateInitial)
 			} else {
-				states[v] = semiext.StateNonIS
+				states.Set(uint32(v), semiext.StateNonIS)
 			}
 		}
 		err := f.ForEach(func(r gio.Record) error {
 			u := r.ID
-			if states[u] != semiext.StateInitial {
+			if states.Get(u) != semiext.StateInitial {
 				return nil
 			}
-			states[u] = semiext.StateIS
+			states.Set(u, semiext.StateIS)
 			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateInitial {
-					states[nb] = semiext.StateConflict // excluded this round only
+				if states.Get(nb) == semiext.StateInitial {
+					states.Set(nb, semiext.StateConflict) // excluded this round only
 				}
 			}
 			return nil
@@ -78,8 +78,8 @@ func ColorByIS(f *gio.File, maxColors int) (*Coloring, error) {
 			return nil, fmt.Errorf("core: coloring: %w", err)
 		}
 		assigned := 0
-		for v, s := range states {
-			if s == semiext.StateIS {
+		for v := 0; v < n; v++ {
+			if states.Get(uint32(v)) == semiext.StateIS {
 				colors[v] = c
 				assigned++
 			}

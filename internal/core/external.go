@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/extpq"
 	"repro/internal/gio"
+	"repro/internal/pipeline"
 )
 
 // ExternalMaximalOptions configure ExternalMaximal.
@@ -22,7 +23,10 @@ type ExternalMaximalOptions struct {
 // the paper's STXXL competitor. Vertices are processed in scan order; a
 // vertex joins the set unless an earlier IS vertex forwarded it an
 // "excluded" message through an external priority queue keyed by scan
-// position. Two sequential scans plus O(sort(|E|)) priority-queue I/O.
+// position. Two sequential scans plus O(sort(|E|)) priority-queue I/O; the
+// two logical passes cannot share a scan — the main pass reads positions of
+// later records the position pass has not assigned yet — so each runs as
+// its own scheduler group.
 //
 // The algorithm guarantees maximality only — not size — which is exactly
 // the gap the paper's swap algorithms close.
@@ -33,17 +37,22 @@ func ExternalMaximal(f Source, opts ExternalMaximalOptions) (*Result, error) {
 	// Scan 1: record each vertex's scan position so messages can be keyed
 	// by processing time.
 	pos := make([]uint32, n)
-	{
-		i := uint32(0)
-		if err := f.ForEachBatch(func(batch []gio.Record) error {
-			for _, r := range batch {
-				pos[r.ID] = i
-				i++
+	posNext := uint32(0)
+	posSched := pipeline.New(f, pipeline.Options{})
+	posSched.Add(pipeline.Pass{
+		Name:           "external-positions",
+		ReadOnly:       true, // writes only the position array no co-scheduled pass reads
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+			for j := range batch {
+				pos[batch[j].ID] = posNext
+				posNext++
 			}
 			return nil
-		}); err != nil {
-			return nil, fmt.Errorf("core: external maximal: position scan: %w", err)
-		}
+		},
+	})
+	if err := posSched.Run(); err != nil {
+		return nil, fmt.Errorf("core: external maximal: position scan: %w", err)
 	}
 
 	pq := extpq.New(extpq.Options{MemoryCapacity: opts.PQMemoryCapacity, Dir: opts.TempDir})
@@ -51,47 +60,53 @@ func ExternalMaximal(f Source, opts ExternalMaximalOptions) (*Result, error) {
 
 	res := newResult(n)
 	var pqPeak int
-	err := f.ForEachBatch(func(batch []gio.Record) error {
-		for _, r := range batch {
-			me := uint64(pos[r.ID])
-			// Drain messages addressed to this position; any message means an
-			// earlier IS vertex excluded us.
-			excluded := false
-			for {
-				k, ok, err := pq.Min()
-				if err != nil {
-					return err
+	mainSched := pipeline.New(f, pipeline.Options{})
+	mainSched.Add(pipeline.Pass{
+		Name:           "external-time-forward",
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				me := uint64(pos[r.ID])
+				// Drain messages addressed to this position; any message
+				// means an earlier IS vertex excluded us.
+				excluded := false
+				for {
+					k, ok, err := pq.Min()
+					if err != nil {
+						return err
+					}
+					if !ok || k > me {
+						break
+					}
+					if _, _, err := pq.Pop(); err != nil {
+						return err
+					}
+					if k == me {
+						excluded = true
+					}
+					// k < me cannot happen: messages target strictly later
+					// positions and are drained in order. Tolerated silently.
 				}
-				if !ok || k > me {
-					break
-				}
-				if _, _, err := pq.Pop(); err != nil {
-					return err
-				}
-				if k == me {
-					excluded = true
-				}
-				// k < me cannot happen: messages target strictly later
-				// positions and are drained in order. Tolerated silently.
-			}
-			if !excluded {
-				res.InSet[r.ID] = true
-				res.Size++
-				for _, u := range r.Neighbors {
-					if uint64(pos[u]) > me {
-						if err := pq.Push(uint64(pos[u])); err != nil {
-							return err
+				if !excluded {
+					res.InSet[r.ID] = true
+					res.Size++
+					for _, u := range r.Neighbors {
+						if uint64(pos[u]) > me {
+							if err := pq.Push(uint64(pos[u])); err != nil {
+								return err
+							}
 						}
 					}
 				}
+				if pq.Len() > pqPeak {
+					pqPeak = pq.Len()
+				}
 			}
-			if pq.Len() > pqPeak {
-				pqPeak = pq.Len()
-			}
-		}
-		return nil
+			return nil
+		},
 	})
-	if err != nil {
+	if err := mainSched.Run(); err != nil {
 		return nil, fmt.Errorf("core: external maximal: %w", err)
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/gio"
+	"repro/internal/pipeline"
 	"repro/internal/semiext"
 )
 
@@ -22,6 +23,11 @@ type SwapOptions struct {
 	// StallRounds stops after this many consecutive rounds with no net
 	// gain, guarding against size-neutral swap oscillation. ≤ 0 selects 3.
 	StallRounds int
+	// Unfused disables scan fusion in the pass scheduler: every logical
+	// pass runs as its own physical scan. Results are identical either way
+	// — the scan-count and parity tests enforce it — so this knob exists
+	// for those tests and for I/O-accounting baselines, not for production.
+	Unfused bool
 	// OnPhase, when non-nil, observes the state machine: it is called after
 	// each phase of each round ("setup", "pre-swap", "swap", "post-swap",
 	// and the final "sweep") with a read-only view of the state array.
@@ -32,8 +38,13 @@ type SwapOptions struct {
 // tracePhase invokes the OnPhase hook if configured.
 func (o SwapOptions) tracePhase(round int, phase string, states semiext.States) {
 	if o.OnPhase != nil {
-		o.OnPhase(round, phase, states)
+		o.OnPhase(round, phase, states.Snapshot())
 	}
+}
+
+// scheduler returns a pass scheduler over f honoring the Unfused knob.
+func (o SwapOptions) scheduler(f Source) *pipeline.Scheduler {
+	return pipeline.New(f, pipeline.Options{Unfused: o.Unfused})
 }
 
 // WithDefaults returns a copy of o with every unset field replaced by its
@@ -52,6 +63,19 @@ func (o SwapOptions) WithDefaults(n int) SwapOptions {
 	return o
 }
 
+// lastByBudget reports whether the round that just executed as index round
+// (0-based) is the final one the round budget admits: the next loop
+// iteration would be stopped by MaxRounds or the early-stop cap regardless
+// of swap progress. Together with the in-round no-swap signal this lets a
+// swap algorithm recognize its final post-swap scan while that scan is still
+// ahead, which is what allows fusing the maximality sweep into it.
+func (o SwapOptions) lastByBudget(round int) bool {
+	if round+1 >= o.MaxRounds {
+		return true
+	}
+	return o.EarlyStopRounds > 0 && round+1 >= o.EarlyStopRounds
+}
+
 // ErrNotIndependent is returned when the initial set handed to a swap
 // algorithm contains an edge.
 var ErrNotIndependent = errors.New("core: initial set is not independent")
@@ -61,8 +85,11 @@ var ErrNotIndependent = errors.New("core: initial set is not independent")
 // non-IS vertices until no 1-k swap applies. Each round performs a pre-swap
 // scan (detecting 1-2 swap skeletons and resolving swap conflicts by
 // scan-order preemption), an in-memory swap step, and a post-swap scan
-// (0↔1 swaps and state recomputation). Only sequential scans touch the
-// file; memory stays at a few words per vertex.
+// (0↔1 swaps and state recomputation). Every scan is a logical pass
+// registered with the scan scheduler; on the final round the maximality
+// sweep rides the post-swap scan as a fused deferred pass, saving one
+// physical scan per run. Only sequential scans touch the file; memory stays
+// at a few words per vertex.
 func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	n := f.NumVertices()
 	if len(initial) != n {
@@ -76,51 +103,59 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	size := 0
 	for v, in := range initial {
 		if in {
-			states[v] = semiext.StateIS
+			states.Set(uint32(v), semiext.StateIS)
 			size++
 		} else {
-			states[v] = semiext.StateNonIS
+			states.Set(uint32(v), semiext.StateNonIS)
 		}
 	}
 
 	// Setup scan (Algorithm 2 lines 1–3): find A vertices and their ISN,
 	// validating independence of the input along the way.
-	err := f.ForEachBatch(func(batch []gio.Record) error {
-		for _, r := range batch {
-			u := r.ID
-			isMember := states[u] == semiext.StateIS
-			var (
-				isNbrs int
-				e      uint32
-			)
-			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateIS {
-					if isMember {
-						return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+	setup := opts.scheduler(f)
+	setup.Add(pipeline.Pass{
+		Name:           "one-k-setup",
+		MutatesStates:  true,
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				u := r.ID
+				isMember := states.Get(u) == semiext.StateIS
+				var (
+					isNbrs int
+					e      uint32
+				)
+				for _, nb := range r.Neighbors {
+					if states.Get(nb) == semiext.StateIS {
+						if isMember {
+							return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+						}
+						isNbrs++
+						e = nb
 					}
-					isNbrs++
-					e = nb
+				}
+				if !isMember && isNbrs == 1 {
+					states.Set(u, semiext.StateAdjacent)
+					isn.Set(u, e)
 				}
 			}
-			if !isMember && isNbrs == 1 {
-				states[u] = semiext.StateAdjacent
-				isn.Set(u, e)
-			}
-		}
-		return nil
+			return nil
+		},
 	})
-	if err != nil {
+	if err := setup.Run(); err != nil {
 		return nil, err
 	}
 	opts.tracePhase(0, "setup", states)
 
 	res := newResult(n)
+	sw := newSweeper(f, states)
 	stall := 0
 	for round := 0; round < opts.MaxRounds; round++ {
 		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
 			break
 		}
-		canSwap, err := oneKRound(f, states, isn, opts, round+1)
+		canSwap, err := oneKRound(f, states, isn, opts, round+1, opts.lastByBudget(round), sw)
 		if err != nil {
 			return nil, err
 		}
@@ -138,103 +173,119 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 		}
 	}
 
-	if err := maximalitySweep(f, states); err != nil {
+	// The sweep normally rode the final post-swap scan and is applied here,
+	// after the last round's gain was counted; only an exit the round loop
+	// could not predict (a stall, with swaps still firing) pays the classic
+	// standalone sweep scan instead.
+	if err := sw.finish(); err != nil {
 		return nil, err
 	}
 	opts.tracePhase(res.Rounds, "sweep", states)
 
-	for v, s := range states {
-		if s == semiext.StateIS {
-			res.InSet[v] = true
-			res.Size++
-		}
-	}
-	res.MemoryBytes = states.MemoryBytes() + isn.MemoryBytes()
+	res.collectIS(states)
+	res.MemoryBytes = states.MemoryBytes() + isn.MemoryBytes() + sw.peak
 	res.IO = statsDelta(f.Stats(), snap)
 	return res, nil
 }
 
 // oneKRound executes one round: pre-swap scan, swap step, post-swap scan.
-// It reports whether any swap fired (an R vertex left the set).
-func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int) (bool, error) {
+// It reports whether any swap fired (an R vertex left the set). final marks
+// a round known — before its post-swap scan starts — to be the last (no
+// swap fired, or the round budget is exhausted); the maximality sweep is
+// then scheduled as a deferred pass fused into the post-swap scan.
+func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int, lastByBudget bool, sw *sweeper) (bool, error) {
 	// Pre-swap scan (Algorithm 2 lines 7–14).
-	err := f.ForEachBatch(func(batch []gio.Record) error {
-	records:
-		for _, r := range batch {
-			u := r.ID
-			if states[u] != semiext.StateAdjacent {
-				continue
-			}
-			// (i) Conflict: a neighbor already claimed a swap this round.
-			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateProtected {
-					states[u] = semiext.StateConflict
-					isn.Clear(u)
-					continue records
+	pre := opts.scheduler(f)
+	pre.Add(pipeline.Pass{
+		Name:           "one-k-pre-swap",
+		MutatesStates:  true,
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+		records:
+			for i := range batch {
+				r := &batch[i]
+				u := r.ID
+				if states.Get(u) != semiext.StateAdjacent {
+					continue
 				}
-			}
-			w, _, cnt := isn.Get(u)
-			if cnt != 1 {
-				// Defensive: an A vertex always has exactly one ISN here.
-				states[u] = semiext.StateNonIS
-				continue
-			}
-			switch states[w] {
-			case semiext.StateIS:
-				// (ii) 1-2 swap skeleton (u, v, w): some other still-A vertex v
-				// with ISN(v) = w is not adjacent to u. With x = u's neighbors
-				// naming w, a witness exists iff |ISN⁻¹(w)| ≥ x + 2 (the count
-				// includes u itself).
-				x := uint32(0)
+				// (i) Conflict: a neighbor already claimed a swap this round.
 				for _, nb := range r.Neighbors {
-					if states[nb] == semiext.StateAdjacent && isn.Has(nb, w) {
-						if _, _, c := isn.Get(nb); c == 1 {
-							x++
-						}
+					if states.Get(nb) == semiext.StateProtected {
+						states.Set(u, semiext.StateConflict)
+						isn.Clear(u)
+						continue records
 					}
 				}
-				if isn.PreimageCount(w) >= x+2 {
-					states[u] = semiext.StateProtected
-					isn.Clear(u)
-					states[w] = semiext.StateRetrograde
+				w, _, cnt := isn.Get(u)
+				if cnt != 1 {
+					// Defensive: an A vertex always has exactly one ISN here.
+					states.Set(u, semiext.StateNonIS)
+					continue
 				}
-			case semiext.StateRetrograde:
-				// (iii) w is already leaving; u joins the swap.
-				states[u] = semiext.StateProtected
-				isn.Clear(u)
+				switch states.Get(w) {
+				case semiext.StateIS:
+					// (ii) 1-2 swap skeleton (u, v, w): some other still-A vertex v
+					// with ISN(v) = w is not adjacent to u. With x = u's neighbors
+					// naming w, a witness exists iff |ISN⁻¹(w)| ≥ x + 2 (the count
+					// includes u itself).
+					x := uint32(0)
+					for _, nb := range r.Neighbors {
+						if states.Get(nb) == semiext.StateAdjacent && isn.Has(nb, w) {
+							if _, _, c := isn.Get(nb); c == 1 {
+								x++
+							}
+						}
+					}
+					if isn.PreimageCount(w) >= x+2 {
+						states.Set(u, semiext.StateProtected)
+						isn.Clear(u)
+						states.Set(w, semiext.StateRetrograde)
+					}
+				case semiext.StateRetrograde:
+					// (iii) w is already leaving; u joins the swap.
+					states.Set(u, semiext.StateProtected)
+					isn.Clear(u)
+				}
 			}
-		}
-		return nil
+			return nil
+		},
 	})
-	if err != nil {
+	if err := pre.Run(); err != nil {
 		return false, fmt.Errorf("core: one-k-swap: pre-swap: %w", err)
 	}
 	opts.tracePhase(round, "pre-swap", states)
 
 	// Swap step (lines 15–19). Pure state-array pass: no file access.
 	canSwap := false
-	for v := range states {
-		switch states[v] {
+	for v := 0; v < states.Len(); v++ {
+		switch states.Get(uint32(v)) {
 		case semiext.StateProtected:
-			states[v] = semiext.StateIS
+			states.Set(uint32(v), semiext.StateIS)
 		case semiext.StateRetrograde:
-			states[v] = semiext.StateNonIS
+			states.Set(uint32(v), semiext.StateNonIS)
 			canSwap = true
 		}
 	}
 	opts.tracePhase(round, "swap", states)
 
-	// Post-swap scan (lines 20–28).
-	if err := postSwapScan(f, states, isn, false); err != nil {
+	// Post-swap scan (lines 20–28), with the maximality sweep fused in when
+	// this is knowably the final round.
+	post := opts.scheduler(f)
+	postPass := postSwapPass(states, isn, false)
+	post.Add(postPass)
+	if !canSwap || lastByBudget {
+		post.Add(sw.pass(postPass.Name))
+	}
+	if err := post.Run(); err != nil {
 		return false, fmt.Errorf("core: one-k-swap: post-swap: %w", err)
 	}
 	opts.tracePhase(round, "post-swap", states)
 	return canSwap, nil
 }
 
-// postSwapScan performs Algorithm 2 lines 20–28 (and Algorithm 3 lines
-// 15–23 when two is true): 0↔1 swaps and recomputation of A states and ISN
-// sets for the next round.
+// postSwapPass builds the post-swap scan (Algorithm 2 lines 20–28; with two
+// set, Algorithm 3 lines 15–23) as a logical pass: 0↔1 swaps and
+// recomputation of A states and ISN sets for the next round.
 //
 // One deliberate extension over the paper's pseudocode: the recomputation
 // covers N vertices as well as C/A. A vertex that was N because it had two
@@ -242,80 +293,66 @@ func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptio
 // other) and must become A, or later swap opportunities are lost — the
 // cascade-swap graph of Figure 5 cannot progress past its first group
 // otherwise, contradicting the paper's own worst-case analysis.
-func postSwapScan(f Source, states semiext.States, isn *semiext.ISN, two bool) error {
-	return f.ForEachBatch(func(batch []gio.Record) error {
-	records:
-		for _, r := range batch {
-			u := r.ID
-			switch states[u] {
-			case semiext.StateNonIS, semiext.StateConflict, semiext.StateAdjacent:
-			default:
-				continue
-			}
-			isn.Clear(u)
-			var (
-				isNbrs int
-				e1, e2 uint32
-			)
-			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateIS {
-					switch isNbrs {
-					case 0:
-						e1 = nb
-					case 1:
-						e2 = nb
-					}
-					isNbrs++
+func postSwapPass(states semiext.States, isn *semiext.ISN, two bool) pipeline.Pass {
+	name := "one-k-post-swap"
+	if two {
+		name = "two-k-post-swap"
+	}
+	return pipeline.Pass{
+		Name:           name,
+		MutatesStates:  true,
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+		records:
+			for i := range batch {
+				r := &batch[i]
+				u := r.ID
+				switch states.Get(u) {
+				case semiext.StateNonIS, semiext.StateConflict, semiext.StateAdjacent:
+				default:
+					continue
 				}
-			}
-			switch {
-			case isNbrs == 1:
-				states[u] = semiext.StateAdjacent
-				isn.Set(u, e1)
-			case isNbrs == 2 && two:
-				states[u] = semiext.StateAdjacent
-				isn.Set(u, e1, e2)
-			case isNbrs == 0:
-				// 0↔1 swap: u may join only if every neighbor is C or N. The
-				// strict condition (an A neighbor blocks u) is load-bearing: an
-				// A neighbor recorded its ISN earlier in this scan and could
-				// later swap against it, so u joining here could create an IS
-				// edge one round later.
-				states[u] = semiext.StateNonIS
+				isn.Clear(u)
+				var (
+					isNbrs int
+					e1, e2 uint32
+				)
 				for _, nb := range r.Neighbors {
-					if s := states[nb]; s != semiext.StateConflict && s != semiext.StateNonIS {
-						continue records
+					if states.Get(nb) == semiext.StateIS {
+						switch isNbrs {
+						case 0:
+							e1 = nb
+						case 1:
+							e2 = nb
+						}
+						isNbrs++
 					}
 				}
-				states[u] = semiext.StateIS
-			default:
-				states[u] = semiext.StateNonIS
-			}
-		}
-		return nil
-	})
-}
-
-// maximalitySweep adds every non-IS vertex with no IS neighbor, in scan
-// order, guaranteeing the returned set is maximal even when the strict 0↔1
-// condition left isolated candidates behind. A single sequential scan
-// suffices: a vertex skipped here has an IS neighbor, and additions only
-// give later vertices more IS neighbors.
-func maximalitySweep(f Source, states semiext.States) error {
-	return f.ForEachBatch(func(batch []gio.Record) error {
-	records:
-		for _, r := range batch {
-			u := r.ID
-			if states[u] == semiext.StateIS {
-				continue
-			}
-			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateIS {
-					continue records
+				switch {
+				case isNbrs == 1:
+					states.Set(u, semiext.StateAdjacent)
+					isn.Set(u, e1)
+				case isNbrs == 2 && two:
+					states.Set(u, semiext.StateAdjacent)
+					isn.Set(u, e1, e2)
+				case isNbrs == 0:
+					// 0↔1 swap: u may join only if every neighbor is C or N. The
+					// strict condition (an A neighbor blocks u) is load-bearing: an
+					// A neighbor recorded its ISN earlier in this scan and could
+					// later swap against it, so u joining here could create an IS
+					// edge one round later.
+					states.Set(u, semiext.StateNonIS)
+					for _, nb := range r.Neighbors {
+						if s := states.Get(nb); s != semiext.StateConflict && s != semiext.StateNonIS {
+							continue records
+						}
+					}
+					states.Set(u, semiext.StateIS)
+				default:
+					states.Set(u, semiext.StateNonIS)
 				}
 			}
-			states[u] = semiext.StateIS
-		}
-		return nil
-	})
+			return nil
+		},
+	}
 }

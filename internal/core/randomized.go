@@ -32,26 +32,26 @@ func RandomizedMaximal(f *gio.File, seed int64) (*Result, error) {
 			return nil, fmt.Errorf("core: randomized maximal: no progress after %d rounds", rounds)
 		}
 		for v := 0; v < n; v++ {
-			if states[v] == semiext.StateInitial {
+			if states.Get(uint32(v)) == semiext.StateInitial {
 				prio[v] = rng.Uint64()
 			}
 		}
 		// Scan 1: local minima of the priority order join the set.
 		err := f.ForEach(func(r gio.Record) error {
 			u := r.ID
-			if states[u] != semiext.StateInitial {
+			if states.Get(u) != semiext.StateInitial {
 				return nil
 			}
 			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateInitial && beats(prio[nb], nb, prio[u], u) {
+				if states.Get(nb) == semiext.StateInitial && beats(prio[nb], nb, prio[u], u) {
 					return nil
 				}
-				if states[nb] == semiext.StateProtected {
+				if states.Get(nb) == semiext.StateProtected {
 					// A neighbor already won this round.
 					return nil
 				}
 			}
-			states[u] = semiext.StateProtected
+			states.Set(u, semiext.StateProtected)
 			return nil
 		})
 		if err != nil {
@@ -60,14 +60,14 @@ func RandomizedMaximal(f *gio.File, seed int64) (*Result, error) {
 		// Scan 2: winners become IS; their undecided neighbors retire.
 		err = f.ForEach(func(r gio.Record) error {
 			u := r.ID
-			if states[u] != semiext.StateProtected {
+			if states.Get(u) != semiext.StateProtected {
 				return nil
 			}
-			states[u] = semiext.StateIS
+			states.Set(u, semiext.StateIS)
 			undecided--
 			for _, nb := range r.Neighbors {
-				if states[nb] == semiext.StateInitial {
-					states[nb] = semiext.StateNonIS
+				if states.Get(nb) == semiext.StateInitial {
+					states.Set(nb, semiext.StateNonIS)
 					undecided--
 				}
 			}
@@ -79,12 +79,7 @@ func RandomizedMaximal(f *gio.File, seed int64) (*Result, error) {
 	}
 
 	res := newResult(n)
-	for v, s := range states {
-		if s == semiext.StateIS {
-			res.InSet[v] = true
-			res.Size++
-		}
-	}
+	res.collectIS(states)
 	res.Rounds = rounds
 	res.MemoryBytes = states.MemoryBytes() + uint64(n)*8
 	res.IO = statsDelta(f.Stats(), snap)

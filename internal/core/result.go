@@ -10,7 +10,10 @@
 // of a gio.File and keep O(|V|) bytes of state in memory.
 package core
 
-import "repro/internal/gio"
+import (
+	"repro/internal/gio"
+	"repro/internal/semiext"
+)
 
 // Result reports an independent set together with the accounting the
 // paper's experiments need.
@@ -30,9 +33,23 @@ type Result struct {
 	// SCHighWater is the peak number of vertices in SC sets (two-k-swap
 	// only; Figure 10).
 	SCHighWater int
+	// Degrees summarizes the degree sequence, collected by a read-only
+	// logical pass fused into Greedy's marking scan — the Table 4 numbers
+	// without a dedicated scan. Zero-valued for the other algorithms.
+	Degrees DegreeStats
 	// IO is the I/O accounting for the run (scans, bytes); zero-valued when
 	// the algorithm is in-memory.
 	IO gio.Stats
+}
+
+// DegreeStats summarizes a file's degree sequence as observed by one scan.
+type DegreeStats struct {
+	// Max is the largest degree.
+	Max uint32
+	// Isolated counts zero-degree vertices.
+	Isolated int
+	// Sum is the directed degree sum, i.e. 2·|E|.
+	Sum uint64
 }
 
 // Vertices returns the members of the set in ascending ID order.
@@ -60,6 +77,16 @@ func newResult(n int) *Result {
 	return &Result{InSet: make([]bool, n)}
 }
 
+// collectIS copies the IS members of a state array into the result.
+func (r *Result) collectIS(states semiext.States) {
+	for v := 0; v < states.Len(); v++ {
+		if states.Get(uint32(v)) == semiext.StateIS {
+			r.InSet[v] = true
+			r.Size++
+		}
+	}
+}
+
 // setFromMembers builds membership from a vertex list.
 func setFromMembers(n int, members []uint32) []bool {
 	in := make([]bool, n)
@@ -76,6 +103,7 @@ func statsDelta(stats *gio.Stats, snap gio.Stats) gio.Stats {
 	}
 	return gio.Stats{
 		Scans:         stats.Scans - snap.Scans,
+		PhysicalScans: stats.PhysicalScans - snap.PhysicalScans,
 		RecordsRead:   stats.RecordsRead - snap.RecordsRead,
 		BytesRead:     stats.BytesRead - snap.BytesRead,
 		BytesWritten:  stats.BytesWritten - snap.BytesWritten,

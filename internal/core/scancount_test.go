@@ -1,0 +1,158 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gio"
+	"repro/internal/pipeline"
+)
+
+const tinyFixture = "../../testdata/tiny.adj"
+
+func openTiny(t *testing.T) (*gio.File, *gio.Stats) {
+	t.Helper()
+	stats := &gio.Stats{}
+	f, err := gio.Open(tinyFixture, 0, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, stats
+}
+
+// TestScanCountGolden pins the exact logical and physical scan counts of
+// every algorithm on the checked-in fixture graph, so a future change cannot
+// silently reintroduce an extra physical scan (or silently drop a logical
+// pass). The fixture converges in one swap round, so the expected counts
+// decompose as:
+//
+//	greedy            setup(mark+stats fused)                     → 2 logical / 1 physical
+//	one-k-swap        setup + (pre + post·sweep fused)            → 4 logical / 3 physical
+//	two-k-swap        setup·deg + (pre + swap + post·sweep)       → 6 logical / 4 physical
+//	external-maximal  positions + time-forward (unfusable)        → 2 logical / 2 physical
+//	upper-bound       one pass                                    → 1 logical / 1 physical
+//	verify-both       independent·maximal fused                   → 2 logical / 1 physical
+func TestScanCountGolden(t *testing.T) {
+	f, stats := openTiny(t)
+
+	greedy, err := Greedy(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIO(t, "greedy", greedy.IO, 2, 1)
+
+	one, err := OneKSwap(f, greedy.InSet, SwapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Rounds != 1 {
+		t.Fatalf("one-k-swap rounds = %d, want 1 (fixture drifted; regenerate goldens)", one.Rounds)
+	}
+	checkIO(t, "one-k-swap", one.IO, 4, 3)
+
+	two, err := TwoKSwap(f, greedy.InSet, SwapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Rounds != 1 {
+		t.Fatalf("two-k-swap rounds = %d, want 1 (fixture drifted; regenerate goldens)", two.Rounds)
+	}
+	checkIO(t, "two-k-swap", two.IO, 6, 4)
+
+	ext, err := ExternalMaximal(f, ExternalMaximalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIO(t, "external-maximal", ext.IO, 2, 2)
+
+	before := *stats
+	if _, err := UpperBound(f); err != nil {
+		t.Fatal(err)
+	}
+	checkIO(t, "upper-bound", scanDelta(*stats, before), 1, 1)
+
+	before = *stats
+	if err := VerifyBoth(f, two.InSet); err != nil {
+		t.Fatal(err)
+	}
+	checkIO(t, "verify-both", scanDelta(*stats, before), 2, 1)
+}
+
+func checkIO(t *testing.T, label string, io gio.Stats, wantLogical, wantPhysical int) {
+	t.Helper()
+	if io.Scans != wantLogical || io.PhysicalScans != wantPhysical {
+		t.Fatalf("%s: scans = %d logical / %d physical, want %d / %d",
+			label, io.Scans, io.PhysicalScans, wantLogical, wantPhysical)
+	}
+}
+
+func scanDelta(now, before gio.Stats) gio.Stats {
+	return gio.Stats{
+		Scans:         now.Scans - before.Scans,
+		PhysicalScans: now.PhysicalScans - before.PhysicalScans,
+	}
+}
+
+// TestFusedVsUnfusedParity holds the two scheduler modes to identical
+// results on the fixture — set membership, sizes, rounds, gains, SC high
+// water — while requiring the fused mode to pay strictly fewer physical
+// scans per round (and in total) than the unfused baseline, whose physical
+// count must equal its logical one. This is the acceptance gate for the
+// post-swap + sweep fusion of both swap algorithms.
+func TestFusedVsUnfusedParity(t *testing.T) {
+	type outcome struct {
+		res *Result
+		err error
+	}
+	run := func(alg string, unfused bool) outcome {
+		f, _ := openTiny(t)
+		greedy, err := GreedyScheduled(f, pipeline.Options{Unfused: unfused})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := SwapOptions{Unfused: unfused}
+		switch alg {
+		case "one-k-swap":
+			r, err := OneKSwap(f, greedy.InSet, opts)
+			return outcome{r, err}
+		case "two-k-swap":
+			r, err := TwoKSwap(f, greedy.InSet, opts)
+			return outcome{r, err}
+		}
+		t.Fatalf("unknown alg %s", alg)
+		return outcome{}
+	}
+
+	for _, alg := range []string{"one-k-swap", "two-k-swap"} {
+		fused, unfused := run(alg, false), run(alg, true)
+		if fused.err != nil || unfused.err != nil {
+			t.Fatalf("%s: errors fused=%v unfused=%v", alg, fused.err, unfused.err)
+		}
+		fr, ur := fused.res, unfused.res
+		if !reflect.DeepEqual(fr.InSet, ur.InSet) || fr.Size != ur.Size {
+			t.Fatalf("%s: fused and unfused sets differ", alg)
+		}
+		if fr.Rounds != ur.Rounds || !reflect.DeepEqual(fr.RoundGains, ur.RoundGains) {
+			t.Fatalf("%s: round trace differs: %d/%v vs %d/%v",
+				alg, fr.Rounds, fr.RoundGains, ur.Rounds, ur.RoundGains)
+		}
+		if fr.SCHighWater != ur.SCHighWater {
+			t.Fatalf("%s: SC high water %d vs %d", alg, fr.SCHighWater, ur.SCHighWater)
+		}
+		if ur.IO.PhysicalScans != ur.IO.Scans {
+			t.Fatalf("%s: unfused baseline fused something: %d physical of %d logical",
+				alg, ur.IO.PhysicalScans, ur.IO.Scans)
+		}
+		if fr.IO.PhysicalScans >= ur.IO.PhysicalScans {
+			t.Fatalf("%s: fused pays %d physical scans, not fewer than unfused %d",
+				alg, fr.IO.PhysicalScans, ur.IO.PhysicalScans)
+		}
+		perRoundFused := float64(fr.IO.PhysicalScans) / float64(fr.Rounds)
+		perRoundUnfused := float64(ur.IO.PhysicalScans) / float64(ur.Rounds)
+		if perRoundFused >= perRoundUnfused {
+			t.Fatalf("%s: fused %.2f physical scans/round, not below unfused %.2f",
+				alg, perRoundFused, perRoundUnfused)
+		}
+	}
+}

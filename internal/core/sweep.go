@@ -1,0 +1,169 @@
+package core
+
+import (
+	"repro/internal/gio"
+	"repro/internal/pipeline"
+	"repro/internal/semiext"
+)
+
+// sweeper is the maximality sweep restructured as a deferred logical pass so
+// the pass scheduler may fuse it into the final post-swap scan of a swap
+// algorithm — the round pair the paper's scan count pays twice for.
+//
+// The fusion is sound because of two properties, which together make the
+// fused run bit-identical to a dedicated sweep scan executed after the
+// post-swap scan:
+//
+//  1. The sweep batch callback never mutates shared state mid-scan — it only
+//     records pending candidates — so the co-scheduled post-swap pass sees
+//     exactly the state trajectory it would see scanning alone.
+//  2. During a post-swap scan, IS membership only grows (post-swap touches
+//     only non-IS vertices of the current record). A vertex skipped because
+//     some neighbor is already IS would therefore also be skipped by a sweep
+//     running after the scan; every other candidate is deferred together
+//     with its in-hand neighbor list and resolved in scan order once the
+//     scan — and with it every possible IS addition — has completed.
+//
+// The deferral needs the pending vertices' neighbor lists in memory. That
+// stays within the semi-external budget for the sweep's real population
+// (vertices with no IS neighbor after swapping are rare), but it is bounded
+// defensively: past ~|V| stored neighbors the sweeper abandons deferral and
+// apply falls back to the classic dedicated sweep scan, which is equivalent
+// by construction (property 2's "sweep after the scan" is exactly that
+// scan). The same collect-then-resolve implementation also runs unfused —
+// collection as its own physical scan — where it degenerates to the classic
+// sweep over the final post-swap states.
+type sweeper struct {
+	f      Source
+	states semiext.States
+
+	ids      []uint32 // pending vertices, in scan order
+	nbrs     []uint32 // their neighbor lists, back to back
+	heads    []uint32 // nbrs end offset per pending vertex
+	budget   int      // max stored neighbor entries before overflow
+	overflow bool
+	peak     uint64 // high-water bytes of the deferral storage
+
+	// collected is set when the sweep pass was scheduled into a post-swap
+	// scan; the owning algorithm must then call apply after its round loop
+	// (not earlier: the sweep's additions belong to no round's gain count).
+	collected bool
+}
+
+func newSweeper(f Source, states semiext.States) *sweeper {
+	return &sweeper{f: f, states: states, budget: states.Len() + 1024}
+}
+
+// pass returns the sweep as a logical pass riding the named post-swap pass,
+// which the sweep is constructed to tolerate (FuseAfter). The pass only
+// collects; the algorithm applies the collected additions via apply once
+// its round loop has finished, so per-round gain accounting and phase
+// traces never include sweep additions.
+func (sw *sweeper) pass(after string) pipeline.Pass {
+	sw.collected = true
+	return pipeline.Pass{
+		Name:           "maximality-sweep",
+		FuseAfter:      after,
+		NeedsScanOrder: true,
+		// Reads shared states during the scan; every write is deferred past
+		// it (DeferredWrites keeps the planner from fusing a later
+		// shared-state pass that would observe pre-apply state).
+		DeferredWrites: true,
+		Batch:          sw.batch,
+	}
+}
+
+func (sw *sweeper) batch(batch []gio.Record) error {
+	for i := range batch {
+		r := &batch[i]
+		u := r.ID
+		if sw.states.Get(u) == semiext.StateIS {
+			continue
+		}
+		covered := false
+		for _, nb := range r.Neighbors {
+			if sw.states.Get(nb) == semiext.StateIS {
+				covered = true
+				break
+			}
+		}
+		if covered || sw.overflow {
+			continue
+		}
+		if len(sw.nbrs)+len(r.Neighbors) > sw.budget {
+			sw.overflow = true
+			sw.ids, sw.nbrs, sw.heads = nil, nil, nil
+			continue
+		}
+		sw.ids = append(sw.ids, u)
+		sw.nbrs = append(sw.nbrs, r.Neighbors...)
+		sw.heads = append(sw.heads, uint32(len(sw.nbrs)))
+		if cur := uint64(len(sw.ids)+len(sw.heads)+len(sw.nbrs)) * 4; cur > sw.peak {
+			sw.peak = cur
+		}
+	}
+	return nil
+}
+
+// finish makes the state array maximal after the round loop: it applies the
+// collection left by a fused final post-swap scan, or — when the loop ended
+// on an exit it could not predict (a stall) and no collection exists — runs
+// the classic standalone sweep scan.
+func (sw *sweeper) finish() error {
+	if sw.collected {
+		return sw.apply()
+	}
+	return maximalitySweep(sw.f, sw.states)
+}
+
+// apply resolves the pending candidates in scan order: a vertex joins iff
+// none of its recorded neighbors has (by now) entered the set. On overflow
+// it runs the classic dedicated sweep scan instead.
+func (sw *sweeper) apply() error {
+	if sw.overflow {
+		return maximalitySweep(sw.f, sw.states)
+	}
+	start := uint32(0)
+	for i, u := range sw.ids {
+		end := sw.heads[i]
+		join := true
+		for _, nb := range sw.nbrs[start:end] {
+			if sw.states.Get(nb) == semiext.StateIS {
+				join = false
+				break
+			}
+		}
+		if join {
+			sw.states.Set(u, semiext.StateIS)
+		}
+		start = end
+	}
+	sw.ids, sw.nbrs, sw.heads = nil, nil, nil
+	return nil
+}
+
+// maximalitySweep adds every non-IS vertex with no IS neighbor, in scan
+// order, guaranteeing the returned set is maximal even when the strict 0↔1
+// condition left isolated candidates behind. A single sequential scan
+// suffices: a vertex skipped here has an IS neighbor, and additions only
+// give later vertices more IS neighbors. It remains the sweeper's overflow
+// fallback; the scheduled path is sweeper.pass.
+func maximalitySweep(f Source, states semiext.States) error {
+	return f.ForEachBatch(func(batch []gio.Record) error {
+	records:
+		for i := range batch {
+			r := &batch[i]
+			u := r.ID
+			if states.Get(u) == semiext.StateIS {
+				continue
+			}
+			for _, nb := range r.Neighbors {
+				if states.Get(nb) == semiext.StateIS {
+					continue records
+				}
+			}
+			states.Set(u, semiext.StateIS)
+		}
+		return nil
+	})
+}

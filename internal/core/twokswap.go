@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/gio"
+	"repro/internal/pipeline"
 	"repro/internal/semiext"
 )
 
@@ -30,6 +31,10 @@ type twoKState struct {
 	groups   []swapGroup
 	groupOf  []int32 // primary group of a P/R vertex, -1 when none
 	groupOf2 []int32 // secondary group (a joiner whose two ISN left in different groups)
+
+	// canSwap is set by the swap pass when any R vertex actually left the
+	// set this round.
+	canSwap bool
 }
 
 type swapGroup struct {
@@ -49,7 +54,11 @@ func pairKey(w1, w2 uint32) uint64 {
 // initial, it fires 2-3 swap skeletons (two IS vertices exchanged for three
 // or more non-IS vertices) in addition to every 1-k swap, using the SC
 // swap-candidate store. Rounds are three sequential scans: pre-swap, a
-// validating swap scan, and post-swap.
+// validating swap scan, and post-swap. Every scan is a logical pass
+// registered with the scan scheduler: the setup pass fuses with a read-only
+// degree-collection rider, and on the final round — recognizable before its
+// post-swap scan because the swap scan runs first — the maximality sweep
+// rides the post-swap scan as a fused deferred pass.
 //
 // The swap scan validates each promotion against the vertex's in-hand
 // adjacency list and rolls back a whole skeleton group if two passengers
@@ -76,63 +85,81 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	size := 0
 	for v, in := range initial {
 		if in {
-			st.states[v] = semiext.StateIS
+			st.states.Set(uint32(v), semiext.StateIS)
 			size++
 		} else {
-			st.states[v] = semiext.StateNonIS
+			st.states.Set(uint32(v), semiext.StateNonIS)
 		}
 	}
 
 	// Setup scan (Algorithm 3 lines 1–3): A vertices with one or two IS
-	// neighbors, plus the degree array used to cap SC bucket sizes.
-	err := f.ForEachBatch(func(batch []gio.Record) error {
-		for _, r := range batch {
-			u := r.ID
-			st.deg[u] = uint32(len(r.Neighbors))
-			isMember := st.states[u] == semiext.StateIS
-			var (
-				isNbrs int
-				e1, e2 uint32
-			)
-			for _, nb := range r.Neighbors {
-				if st.states[nb] == semiext.StateIS {
-					if isMember {
-						return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+	// neighbors, fused with the read-only collection of the degree array
+	// that caps SC bucket sizes.
+	setup := opts.scheduler(f)
+	setup.Add(pipeline.Pass{
+		Name:           "two-k-setup",
+		MutatesStates:  true,
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				u := r.ID
+				isMember := st.states.Get(u) == semiext.StateIS
+				var (
+					isNbrs int
+					e1, e2 uint32
+				)
+				for _, nb := range r.Neighbors {
+					if st.states.Get(nb) == semiext.StateIS {
+						if isMember {
+							return fmt.Errorf("%w: edge {%d,%d}", ErrNotIndependent, u, nb)
+						}
+						switch isNbrs {
+						case 0:
+							e1 = nb
+						case 1:
+							e2 = nb
+						}
+						isNbrs++
 					}
+				}
+				if !isMember {
 					switch isNbrs {
-					case 0:
-						e1 = nb
 					case 1:
-						e2 = nb
+						st.states.Set(u, semiext.StateAdjacent)
+						st.isn.Set(u, e1)
+					case 2:
+						st.states.Set(u, semiext.StateAdjacent)
+						st.isn.Set(u, e1, e2)
 					}
-					isNbrs++
 				}
 			}
-			if !isMember {
-				switch isNbrs {
-				case 1:
-					st.states[u] = semiext.StateAdjacent
-					st.isn.Set(u, e1)
-				case 2:
-					st.states[u] = semiext.StateAdjacent
-					st.isn.Set(u, e1, e2)
-				}
-			}
-		}
-		return nil
+			return nil
+		},
 	})
-	if err != nil {
+	setup.Add(pipeline.Pass{
+		Name:     "two-k-collect-degrees",
+		ReadOnly: true, // writes only the degree array no co-scheduled pass reads
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				st.deg[batch[i].ID] = uint32(len(batch[i].Neighbors))
+			}
+			return nil
+		},
+	})
+	if err := setup.Run(); err != nil {
 		return nil, err
 	}
 	opts.tracePhase(0, "setup", st.states)
 
 	res := newResult(n)
+	sw := newSweeper(f, st.states)
 	stall := 0
 	for round := 0; round < opts.MaxRounds; round++ {
 		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
 			break
 		}
-		canSwap, err := st.round(f, opts, round+1)
+		canSwap, err := st.round(f, opts, round+1, opts.lastByBudget(round), sw)
 		if err != nil {
 			return nil, err
 		}
@@ -150,27 +177,29 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 		}
 	}
 
-	if err := maximalitySweep(f, st.states); err != nil {
+	// Apply the sweep collected by the final post-swap scan — after the last
+	// round's gain was counted — or pay the classic standalone sweep scan on
+	// an unpredicted (stall) exit.
+	if err := sw.finish(); err != nil {
 		return nil, err
 	}
 	opts.tracePhase(res.Rounds, "sweep", st.states)
 
-	for v, s := range st.states {
-		if s == semiext.StateIS {
-			res.InSet[v] = true
-			res.Size++
-		}
-	}
+	res.collectIS(st.states)
 	res.SCHighWater = st.scPeak
 	res.MemoryBytes = st.states.MemoryBytes() + st.isn.MemoryBytes() +
-		st.sc.MemoryBytes() + uint64(n)*4 /* deg */ + uint64(n)*8 /* groups */
+		st.sc.MemoryBytes() + uint64(n)*4 /* deg */ + uint64(n)*8 /* groups */ +
+		sw.peak
 	res.IO = statsDelta(f.Stats(), snap)
 	return res, nil
 }
 
 // round executes pre-swap, swap (validating) and post-swap scans, reporting
-// whether any swap fired.
-func (st *twoKState) round(f Source, opts SwapOptions, round int) (bool, error) {
+// whether any swap fired. lastByBudget marks a round whose post-swap scan is
+// known to be the run's last regardless of swap progress; the no-swap signal
+// from the swap scan is the other way a final post-swap scan is recognized,
+// and in either case the maximality sweep fuses into it.
+func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget bool, sw *sweeper) (bool, error) {
 	st.groups = st.groups[:0]
 	for i := range st.groupOf {
 		st.groupOf[i] = -1
@@ -181,98 +210,117 @@ func (st *twoKState) round(f Source, opts SwapOptions, round int) (bool, error) 
 	clear(st.seenOne)
 	st.seenCount = 0
 
-	if err := st.preSwapScan(f); err != nil {
+	pre := opts.scheduler(f)
+	pre.Add(st.preSwapPass())
+	if err := pre.Run(); err != nil {
 		return false, fmt.Errorf("core: two-k-swap: pre-swap: %w", err)
 	}
 	opts.tracePhase(round, "pre-swap", st.states)
-	canSwap, err := st.swapScan(f)
-	if err != nil {
+
+	swap := opts.scheduler(f)
+	swap.Add(st.swapPass())
+	if err := swap.Run(); err != nil {
 		return false, fmt.Errorf("core: two-k-swap: swap: %w", err)
 	}
+	canSwap := st.canSwap
 	opts.tracePhase(round, "swap", st.states)
-	if err := postSwapScan(f, st.states, st.isn, true); err != nil {
+
+	post := opts.scheduler(f)
+	postPass := postSwapPass(st.states, st.isn, true)
+	post.Add(postPass)
+	if !canSwap || lastByBudget {
+		post.Add(sw.pass(postPass.Name))
+	}
+	if err := post.Run(); err != nil {
 		return false, fmt.Errorf("core: two-k-swap: post-swap: %w", err)
 	}
 	opts.tracePhase(round, "post-swap", st.states)
 	return canSwap, nil
 }
 
-// preSwapScan runs Algorithm 4 for every A vertex in scan order.
-func (st *twoKState) preSwapScan(f Source) error {
+// preSwapPass builds Algorithm 4 — run for every A vertex in scan order —
+// as a logical pass.
+func (st *twoKState) preSwapPass() pipeline.Pass {
 	nbrSet := make(map[uint32]struct{})
-	return f.ForEachBatch(func(batch []gio.Record) error {
-	records:
-		for _, r := range batch {
-			u := r.ID
-			if st.states[u] != semiext.StateAdjacent {
-				continue
-			}
-			// Conflict (Algorithm 4 lines 3–4): a neighbor already holds P.
-			for _, nb := range r.Neighbors {
-				if st.states[nb] == semiext.StateProtected {
-					st.states[u] = semiext.StateConflict
-					st.isn.Clear(u)
-					continue records
+	return pipeline.Pass{
+		Name:           "two-k-pre-swap",
+		MutatesStates:  true,
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+		records:
+			for i := range batch {
+				r := &batch[i]
+				u := r.ID
+				if st.states.Get(u) != semiext.StateAdjacent {
+					continue
 				}
-			}
-
-			w1, w2, cnt := st.isn.Get(u)
-			switch cnt {
-			case 2:
-				s1, s2 := st.states[w1], st.states[w2]
-				switch {
-				case s1 == semiext.StateIS && s2 == semiext.StateIS:
-					clear(nbrSet)
-					for _, nb := range r.Neighbors {
-						nbrSet[nb] = struct{}{}
-					}
-					if st.fireSkeleton(u, w1, w2, r.Neighbors, nbrSet) {
+				// Conflict (Algorithm 4 lines 3–4): a neighbor already holds P.
+				for _, nb := range r.Neighbors {
+					if st.states.Get(nb) == semiext.StateProtected {
+						st.states.Set(u, semiext.StateConflict)
+						st.isn.Clear(u)
 						continue records
 					}
-					st.addCandidatePair(u, w1, w2, nbrSet)
-				case s1 == semiext.StateRetrograde && s2 == semiext.StateRetrograde:
-					// Algorithm 4 lines 11–12 generalized: all of u's IS
-					// neighbors are leaving, so u joins. It may straddle two
-					// different groups.
-					st.promote(u, r.Neighbors)
-					st.join(u, w1)
-					st.join(u, w2)
 				}
-				// One I, one R: u's remaining IS neighbor keeps it out.
-			case 1:
-				switch st.states[w1] {
-				case semiext.StateIS:
-					// 1-2 swap skeleton via the witness counter (lines 9–10).
-					x := uint32(0)
-					for _, nb := range r.Neighbors {
-						if st.states[nb] == semiext.StateAdjacent && st.isn.Has(nb, w1) {
-							if _, _, c := st.isn.Get(nb); c == 1 {
-								x++
+
+				w1, w2, cnt := st.isn.Get(u)
+				switch cnt {
+				case 2:
+					s1, s2 := st.states.Get(w1), st.states.Get(w2)
+					switch {
+					case s1 == semiext.StateIS && s2 == semiext.StateIS:
+						clear(nbrSet)
+						for _, nb := range r.Neighbors {
+							nbrSet[nb] = struct{}{}
+						}
+						if st.fireSkeleton(u, w1, w2, r.Neighbors, nbrSet) {
+							continue records
+						}
+						st.addCandidatePair(u, w1, w2, nbrSet)
+					case s1 == semiext.StateRetrograde && s2 == semiext.StateRetrograde:
+						// Algorithm 4 lines 11–12 generalized: all of u's IS
+						// neighbors are leaving, so u joins. It may straddle two
+						// different groups.
+						st.promote(u, r.Neighbors)
+						st.join(u, w1)
+						st.join(u, w2)
+					}
+					// One I, one R: u's remaining IS neighbor keeps it out.
+				case 1:
+					switch st.states.Get(w1) {
+					case semiext.StateIS:
+						// 1-2 swap skeleton via the witness counter (lines 9–10).
+						x := uint32(0)
+						for _, nb := range r.Neighbors {
+							if st.states.Get(nb) == semiext.StateAdjacent && st.isn.Has(nb, w1) {
+								if _, _, c := st.isn.Get(nb); c == 1 {
+									x++
+								}
 							}
 						}
-					}
-					if st.isn.PreimageCount(w1) >= x+2 {
+						if st.isn.PreimageCount(w1) >= x+2 {
+							st.promote(u, r.Neighbors)
+							st.states.Set(w1, semiext.StateRetrograde)
+							gi := st.newGroup(w1)
+							st.groupOf[w1] = gi
+							st.groupOf[u] = gi
+						} else {
+							// Singleton-ISN vertices feed the partner index but are
+							// not SC-set members (Definition 2 requires a two-IS
+							// neighborhood), so they do not count toward the SC
+							// high-water mark.
+							st.seenOne[w1] = append(st.seenOne[w1], u)
+						}
+					case semiext.StateRetrograde:
+						// Join an already-fired swap (lines 11–12).
 						st.promote(u, r.Neighbors)
-						st.states[w1] = semiext.StateRetrograde
-						gi := st.newGroup(w1)
-						st.groupOf[w1] = gi
-						st.groupOf[u] = gi
-					} else {
-						// Singleton-ISN vertices feed the partner index but are
-						// not SC-set members (Definition 2 requires a two-IS
-						// neighborhood), so they do not count toward the SC
-						// high-water mark.
-						st.seenOne[w1] = append(st.seenOne[w1], u)
+						st.join(u, w1)
 					}
-				case semiext.StateRetrograde:
-					// Join an already-fired swap (lines 11–12).
-					st.promote(u, r.Neighbors)
-					st.join(u, w1)
 				}
 			}
-		}
-		return nil
-	})
+			return nil
+		},
+	}
 }
 
 // fireSkeleton looks for a 2-3 swap skeleton (a, b, u, w1, w2) using the SC
@@ -297,14 +345,14 @@ func (st *twoKState) fireSkeleton(u, w1, w2 uint32, neighbors []uint32, nbrSet m
 		}
 		// Fire: u drives, p.U and p.V are passengers.
 		gi := st.newGroup(w1, w2)
-		st.states[w1] = semiext.StateRetrograde
-		st.states[w2] = semiext.StateRetrograde
+		st.states.Set(w1, semiext.StateRetrograde)
+		st.states.Set(w2, semiext.StateRetrograde)
 		st.groupOf[w1] = gi
 		st.groupOf[w2] = gi
 		st.promote(u, neighbors)
 		st.groupOf[u] = gi
 		for _, m := range [2]uint32{p.U, p.V} {
-			st.states[m] = semiext.StateProtected
+			st.states.Set(m, semiext.StateProtected)
 			st.isn.Clear(m)
 			st.groupOf[m] = gi
 		}
@@ -318,7 +366,7 @@ func (st *twoKState) fireSkeleton(u, w1, w2 uint32, neighbors []uint32, nbrSet m
 // validCandidate reports whether v is still an A vertex whose ISN is inside
 // {w1, w2} — SC entries and seen lists are validated lazily.
 func (st *twoKState) validCandidate(v, w1, w2 uint32) bool {
-	if st.states[v] != semiext.StateAdjacent {
+	if st.states.Get(v) != semiext.StateAdjacent {
 		return false
 	}
 	a, b, c := st.isn.Get(v)
@@ -378,11 +426,11 @@ func (st *twoKState) findPartner(u, w1, w2 uint32, nbrSet map[uint32]struct{}) (
 // stop being a viable SC candidate before a later skeleton could pull it in
 // next to u.
 func (st *twoKState) promote(u uint32, neighbors []uint32) {
-	st.states[u] = semiext.StateProtected
+	st.states.Set(u, semiext.StateProtected)
 	st.isn.Clear(u)
 	for _, nb := range neighbors {
-		if st.states[nb] == semiext.StateAdjacent {
-			st.states[nb] = semiext.StateConflict
+		if st.states.Get(nb) == semiext.StateAdjacent {
+			st.states.Set(nb, semiext.StateConflict)
 			st.isn.Clear(nb)
 		}
 	}
@@ -409,47 +457,53 @@ func (st *twoKState) newGroup(ws ...uint32) int32 {
 	return int32(len(st.groups) - 1)
 }
 
-// swapScan performs the swap phase as a validating sequential scan:
+// swapPass builds the swap phase as a validating sequential logical pass:
 // P vertices are confirmed to I unless an I neighbor shows a cross-group
 // passenger collision, in which case the whole group rolls back; R vertices
-// leave the set unless their group failed.
-func (st *twoKState) swapScan(f Source) (bool, error) {
-	canSwap := false
-	err := f.ForEachBatch(func(batch []gio.Record) error {
-	records:
-		for _, r := range batch {
-			u := r.ID
-			switch st.states[u] {
-			case semiext.StateProtected:
-				if st.groupFailed(u) {
-					st.states[u] = semiext.StateConflict
-					continue
-				}
-				for _, nb := range r.Neighbors {
-					if st.states[nb] == semiext.StateIS {
-						// Cross-group passenger collision: nb was promoted
-						// earlier in this scan next to u. Demote u and roll its
-						// group(s) back.
-						st.states[u] = semiext.StateConflict
-						st.fail(st.groupOf[u])
-						st.fail(st.groupOf2[u])
-						continue records
+// leave the set unless their group failed. The pass records into st.canSwap
+// whether any R vertex actually left.
+func (st *twoKState) swapPass() pipeline.Pass {
+	st.canSwap = false
+	return pipeline.Pass{
+		Name:           "two-k-swap-validate",
+		MutatesStates:  true,
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+		records:
+			for i := range batch {
+				r := &batch[i]
+				u := r.ID
+				switch st.states.Get(u) {
+				case semiext.StateProtected:
+					if st.groupFailed(u) {
+						st.states.Set(u, semiext.StateConflict)
+						continue
+					}
+					for _, nb := range r.Neighbors {
+						if st.states.Get(nb) == semiext.StateIS {
+							// Cross-group passenger collision: nb was promoted
+							// earlier in this scan next to u. Demote u and roll its
+							// group(s) back.
+							st.states.Set(u, semiext.StateConflict)
+							st.fail(st.groupOf[u])
+							st.fail(st.groupOf2[u])
+							continue records
+						}
+					}
+					st.states.Set(u, semiext.StateIS)
+					st.confirm(u)
+				case semiext.StateRetrograde:
+					if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
+						st.states.Set(u, semiext.StateIS) // reinstated
+					} else {
+						st.states.Set(u, semiext.StateNonIS)
+						st.canSwap = true
 					}
 				}
-				st.states[u] = semiext.StateIS
-				st.confirm(u)
-			case semiext.StateRetrograde:
-				if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
-					st.states[u] = semiext.StateIS // reinstated
-				} else {
-					st.states[u] = semiext.StateNonIS
-					canSwap = true
-				}
 			}
-		}
-		return nil
-	})
-	return canSwap, err
+			return nil
+		},
+	}
 }
 
 func (st *twoKState) groupFailed(u uint32) bool {
@@ -483,9 +537,9 @@ func (st *twoKState) fail(gi int32) {
 	g := &st.groups[gi]
 	g.failed = true
 	for _, m := range g.confirmed {
-		st.states[m] = semiext.StateConflict
+		st.states.Set(m, semiext.StateConflict)
 	}
 	for _, w := range g.ws {
-		st.states[w] = semiext.StateIS
+		st.states.Set(w, semiext.StateIS)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/gio"
+	"repro/internal/pipeline"
 )
 
 // UpperBound runs Algorithm 5 (Appendix): a one-scan star-partition upper
@@ -12,31 +13,42 @@ import (
 // most N independent vertices (an independent set cannot contain the center
 // and every leaf), and an isolated star contributes one. The experiments use
 // this bound as the denominator of all approximation ratios, exactly as the
-// paper does (it cannot compute exact independence numbers at scale).
+// paper does (it cannot compute exact independence numbers at scale). The
+// scan is one logical pass on the scheduler, touching only its pass-private
+// visited array.
 func UpperBound(f Source) (uint64, error) {
 	n := f.NumVertices()
 	visited := make([]bool, n)
 	var bound uint64
-	err := f.ForEach(func(r gio.Record) error {
-		if visited[r.ID] {
-			return nil
-		}
-		visited[r.ID] = true
-		leaves := uint64(0)
-		for _, u := range r.Neighbors {
-			if !visited[u] {
-				visited[u] = true
-				leaves++
+	s := pipeline.New(f, pipeline.Options{})
+	s.Add(pipeline.Pass{
+		Name:           "upper-bound",
+		ReadOnly:       true, // the visited array is pass-private
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				if visited[r.ID] {
+					continue
+				}
+				visited[r.ID] = true
+				leaves := uint64(0)
+				for _, u := range r.Neighbors {
+					if !visited[u] {
+						visited[u] = true
+						leaves++
+					}
+				}
+				if leaves > 0 {
+					bound += leaves
+				} else {
+					bound++
+				}
 			}
-		}
-		if leaves > 0 {
-			bound += leaves
-		} else {
-			bound++
-		}
-		return nil
+			return nil
+		},
 	})
-	if err != nil {
+	if err := s.Run(); err != nil {
 		return 0, fmt.Errorf("core: upper bound: %w", err)
 	}
 	return bound, nil

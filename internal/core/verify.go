@@ -5,44 +5,116 @@ import (
 
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
+
+// The verify scans are logical passes that read the shared membership array
+// and mutate nothing, so the planner fuses any sequence of them into a
+// single physical scan (VerifyBoth). To keep fused and unfused error
+// behavior identical, a verify pass records only the first violation in scan
+// order, opts out of the rest of the stream with ErrStopScan — the scheduler
+// cuts the scan short once every pass in the group has opted out, so a lone
+// failing verify still aborts at its violation — and surfaces the verdict
+// from Done. A fused partner pass keeps receiving batches, and the earlier
+// declared pass's verdict always wins, exactly as if the passes had scanned
+// one after another.
+
+// verifyIndependentPass checks that no edge has both endpoints in the set.
+func verifyIndependentPass(inSet []bool) pipeline.Pass {
+	var firstErr error
+	return pipeline.Pass{
+		Name: "verify-independent",
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				if !inSet[r.ID] {
+					continue
+				}
+				for _, nb := range r.Neighbors {
+					if inSet[nb] {
+						firstErr = fmt.Errorf("core: set is not independent: edge {%d,%d}", r.ID, nb)
+						return pipeline.ErrStopScan
+					}
+				}
+			}
+			return nil
+		},
+		Done: func() error { return firstErr },
+	}
+}
+
+// verifyMaximalPass checks that every vertex outside the set has a neighbor
+// inside it (assuming the set is independent).
+func verifyMaximalPass(inSet []bool) pipeline.Pass {
+	var firstErr error
+	return pipeline.Pass{
+		Name: "verify-maximal",
+		Batch: func(batch []gio.Record) error {
+		records:
+			for i := range batch {
+				r := &batch[i]
+				if inSet[r.ID] {
+					continue
+				}
+				for _, nb := range r.Neighbors {
+					if inSet[nb] {
+						continue records
+					}
+				}
+				firstErr = fmt.Errorf("core: set is not maximal: vertex %d has no IS neighbor", r.ID)
+				return pipeline.ErrStopScan
+			}
+			return nil
+		},
+		Done: func() error { return firstErr },
+	}
+}
+
+func checkSetSize(f Source, inSet []bool) error {
+	if len(inSet) != f.NumVertices() {
+		return fmt.Errorf("core: verify: set has %d entries for %d vertices", len(inSet), f.NumVertices())
+	}
+	return nil
+}
 
 // VerifyIndependent checks, with one sequential scan, that no edge of f has
 // both endpoints in the set.
 func VerifyIndependent(f Source, inSet []bool) error {
-	if len(inSet) != f.NumVertices() {
-		return fmt.Errorf("core: verify: set has %d entries for %d vertices", len(inSet), f.NumVertices())
+	if err := checkSetSize(f, inSet); err != nil {
+		return err
 	}
-	return f.ForEach(func(r gio.Record) error {
-		if !inSet[r.ID] {
-			return nil
-		}
-		for _, nb := range r.Neighbors {
-			if inSet[nb] {
-				return fmt.Errorf("core: set is not independent: edge {%d,%d}", r.ID, nb)
-			}
-		}
-		return nil
-	})
+	s := pipeline.New(f, pipeline.Options{})
+	s.Add(verifyIndependentPass(inSet))
+	return s.Run()
 }
 
 // VerifyMaximal checks, with one sequential scan, that every vertex outside
 // the set has a neighbor inside it (assuming the set is independent).
 func VerifyMaximal(f Source, inSet []bool) error {
-	if len(inSet) != f.NumVertices() {
-		return fmt.Errorf("core: verify: set has %d entries for %d vertices", len(inSet), f.NumVertices())
+	if err := checkSetSize(f, inSet); err != nil {
+		return err
 	}
-	return f.ForEach(func(r gio.Record) error {
-		if inSet[r.ID] {
-			return nil
-		}
-		for _, nb := range r.Neighbors {
-			if inSet[nb] {
-				return nil
-			}
-		}
-		return fmt.Errorf("core: set is not maximal: vertex %d has no IS neighbor", r.ID)
-	})
+	s := pipeline.New(f, pipeline.Options{})
+	s.Add(verifyMaximalPass(inSet))
+	return s.Run()
+}
+
+// VerifyBoth checks independence and maximality with a single fused physical
+// scan (two logical passes). An independence violation wins over a
+// maximality one, exactly as running VerifyIndependent before VerifyMaximal
+// would report.
+func VerifyBoth(f Source, inSet []bool) error {
+	return verifyBothScheduled(f, inSet, pipeline.Options{})
+}
+
+func verifyBothScheduled(f Source, inSet []bool, sopts pipeline.Options) error {
+	if err := checkSetSize(f, inSet); err != nil {
+		return err
+	}
+	s := pipeline.New(f, sopts)
+	s.Add(verifyIndependentPass(inSet))
+	s.Add(verifyMaximalPass(inSet))
+	return s.Run()
 }
 
 // VerifyIndependentGraph is the in-memory variant of VerifyIndependent.

@@ -123,6 +123,83 @@ func TestAlgorithmParity(t *testing.T) {
 	}
 }
 
+// TestFusedUnfusedWorkerMatrix extends the parity harness across the
+// scheduler dimension: for each of workers 1, 2, 4 and 7 and each scheduler
+// mode (fused, unfused), the swap algorithms and the fused verify must
+// produce bit-identical outcomes. Within a mode, every worker count must
+// agree on everything including the I/O accounting; across modes the results
+// and errors must agree while the fused mode pays fewer physical scans.
+func TestFusedUnfusedWorkerMatrix(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(91, 3000, 18000)
+	path := writeFile(t, dir, g, true, "matrix.adj")
+
+	type key struct {
+		alg     string
+		unfused bool
+	}
+	results := map[key]map[int]*core.Result{}
+
+	for _, unfused := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			var stats gio.Stats
+			f, err := gio.Open(path, 0, &stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var src core.Source = f
+			if workers > 1 {
+				src = New(f, workers)
+			}
+			greedy, err := core.Greedy(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.SwapOptions{Unfused: unfused}
+			one, err := core.OneKSwap(src, greedy.InSet, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			two, err := core.TwoKSwap(src, greedy.InSet, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.VerifyBoth(src, one.InSet); err != nil {
+				t.Fatalf("workers=%d unfused=%v: one-k result failed verify: %v", workers, unfused, err)
+			}
+			if err := core.VerifyBoth(src, two.InSet); err != nil {
+				t.Fatalf("workers=%d unfused=%v: two-k result failed verify: %v", workers, unfused, err)
+			}
+			for alg, r := range map[string]*core.Result{"one-k": one, "two-k": two} {
+				k := key{alg, unfused}
+				if results[k] == nil {
+					results[k] = map[int]*core.Result{}
+				}
+				results[k][workers] = r
+			}
+			f.Close()
+		}
+	}
+
+	for k, byWorkers := range results {
+		ref := byWorkers[1]
+		for _, workers := range []int{2, 4, 7} {
+			assertResultsEqual(t, fmt.Sprintf("%s unfused=%v workers=%d vs 1", k.alg, k.unfused, workers),
+				byWorkers[workers], ref)
+		}
+	}
+	for _, alg := range []string{"one-k", "two-k"} {
+		fused, unfused := results[key{alg, false}][1], results[key{alg, true}][1]
+		if !reflect.DeepEqual(fused.InSet, unfused.InSet) || fused.Rounds != unfused.Rounds {
+			t.Fatalf("%s: fused and unfused disagree on the result", alg)
+		}
+		if fused.IO.PhysicalScans >= unfused.IO.PhysicalScans {
+			t.Fatalf("%s: fused physical scans %d, not below unfused %d",
+				alg, fused.IO.PhysicalScans, unfused.IO.PhysicalScans)
+		}
+	}
+}
+
 func assertResultsEqual(t *testing.T, label string, got, want *core.Result) {
 	t.Helper()
 	if !reflect.DeepEqual(got.InSet, want.InSet) {

@@ -97,6 +97,17 @@ func (e *Executor) ForEachBatch(fn func([]gio.Record) error) error {
 	if e.workers <= 1 {
 		return e.f.ForEachBatch(fn)
 	}
+	if e.f.PlanCaptureViable() { // no plan cached yet and capture can still install one
+		// Cold start: no cut table yet. A dedicated planning side scan would
+		// read the whole file once before the counted scan reads it again, so
+		// a one-shot workload would pay two passes over the disk. Instead run
+		// this scan on the sequential engine and capture the plan from its
+		// record stream — one physical pass, identical records, error and
+		// Stats, and every subsequent scan goes parallel off the cached plan.
+		// If the capture cannot validate (see gio), the next scan falls
+		// through to Partitions' self-checking side scan below.
+		return e.f.ForEachBatchWithPlanCapture(fn)
+	}
 	parts, err := e.f.Partitions(e.workers * partitionsPerWorker)
 	if err != nil || len(parts) < 2 {
 		// Malformed input (planning failed) or a file too small to split:
@@ -104,6 +115,15 @@ func (e *Executor) ForEachBatch(fn func([]gio.Record) error) error {
 		return e.f.ForEachBatch(fn)
 	}
 	return e.runParallel(parts, fn)
+}
+
+// ForEachBatchWithPlanCapture runs one full scan with opportunistic
+// partition-plan capture (see gio.File.ForEachBatchWithPlanCapture). For the
+// executor this is ForEachBatch itself — its cold start already captures —
+// but the method makes the capability visible to the pass scheduler
+// (internal/pipeline), which type-asserts for it.
+func (e *Executor) ForEachBatchWithPlanCapture(fn func([]gio.Record) error) error {
+	return e.ForEachBatch(fn)
 }
 
 // batchMsg carries one decoded batch (or a partition's terminal status) from
@@ -209,6 +229,7 @@ consume:
 		}
 		if runErr == nil {
 			st.Scans++
+			st.PhysicalScans++
 		}
 	}
 	return runErr

@@ -100,6 +100,11 @@ func runScan(t testing.TB, path string, workers, blockSize int) scanOutcome {
 	if workers == 1 {
 		out.err = f.ForEachBatch(collect)
 	} else {
+		// Warm the partition plan so this scan exercises the parallel merge
+		// path rather than the cold-start sequential capture scan (which has
+		// its own parity tests below). Planning failure is the executor's
+		// fallback signal and is deliberately ignored here.
+		_, _ = f.Partitions(workers * 2)
 		out.err = New(f, workers).ForEachBatch(collect)
 	}
 	return out
@@ -332,6 +337,99 @@ func TestPostPlanCorruption(t *testing.T) {
 		if seen2 != seen1 || err2.Error() != err1.Error() {
 			t.Fatalf("nondeterministic outcome: (%d, %v) then (%d, %v)", seen1, err1, seen2, err2)
 		}
+	}
+}
+
+// TestColdStartCapturePar checks the executor's cold start: with no cached
+// plan, the first ForEachBatch runs the sequential engine while capturing the
+// partition plan (one physical pass, no planning side scan), and the second
+// scan goes parallel off the captured plan — both observationally identical
+// to the sequential engine.
+func TestColdStartCapturePar(t *testing.T) {
+	dir := t.TempDir()
+	for _, compressed := range []bool{false, true} {
+		g := randomGraph(53, 800, 6000)
+		path := writeFile(t, dir, g, compressed, fmt.Sprintf("cold-%v.adj", compressed))
+		ref := runScan(t, path, 1, 4096)
+		for _, w := range parityWorkers {
+			var stats gio.Stats
+			f, err := gio.Open(path, 4096, &stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := New(f, w)
+			for scan := 0; scan < 2; scan++ {
+				label := fmt.Sprintf("compressed=%v workers=%d scan=%d", compressed, w, scan)
+				got := scanOutcome{}
+				statsBefore := stats
+				got.err = ex.ForEachBatch(func(batch []gio.Record) error {
+					for _, r := range batch {
+						got.recs = append(got.recs, gio.Record{
+							ID:        r.ID,
+							Neighbors: append([]uint32(nil), r.Neighbors...),
+						})
+					}
+					return nil
+				})
+				delta := stats
+				delta.Scans -= statsBefore.Scans
+				delta.PhysicalScans -= statsBefore.PhysicalScans
+				delta.RecordsRead -= statsBefore.RecordsRead
+				delta.BytesRead -= statsBefore.BytesRead
+				delta.BlocksRead -= statsBefore.BlocksRead
+				got.stats = delta
+				assertSameOutcome(t, label, got, ref, true)
+				if !f.HasPartitionPlan() {
+					t.Fatalf("%s: no partition plan captured by the cold-start scan", label)
+				}
+			}
+			f.Close()
+		}
+	}
+}
+
+// TestColdStartCaptureTrailingBytes appends junk after the last record: the
+// capture must refuse to install a plan (its offsets cannot validate), scans
+// must stay correct, and later scans must still reach the parallel path via
+// the self-checking planning side scan.
+func TestColdStartCaptureTrailingBytes(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(54, 400, 2400)
+	path := writeFile(t, dir, g, false, "trailing.adj")
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte("junk-past-the-last-record")); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	ref := runScan(t, path, 1, 4096)
+	f, err := gio.Open(path, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ex := New(f, 4)
+	for scan := 0; scan < 2; scan++ {
+		got := scanOutcome{stats: ref.stats}
+		got.err = ex.ForEachBatch(func(batch []gio.Record) error {
+			for _, r := range batch {
+				got.recs = append(got.recs, gio.Record{
+					ID:        r.ID,
+					Neighbors: append([]uint32(nil), r.Neighbors...),
+				})
+			}
+			return nil
+		})
+		assertSameOutcome(t, fmt.Sprintf("trailing scan=%d", scan), got, ref, false)
+	}
+	if !f.HasPartitionPlan() {
+		t.Fatal("side-scan planning should have installed a plan after the failed capture")
+	}
+	if f.PlanCaptureViable() {
+		t.Fatal("capture should be marked non-viable after offset validation failed")
 	}
 }
 

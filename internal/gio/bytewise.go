@@ -71,6 +71,7 @@ func (s *bytewiseScanner) next() bool {
 		s.done = true
 		if s.file.stats != nil {
 			s.file.stats.Scans++
+			s.file.stats.PhysicalScans++
 		}
 		return false
 	}

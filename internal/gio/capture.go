@@ -1,0 +1,65 @@
+package gio
+
+// Opportunistic partition-plan capture: building the cut table (see
+// Partitions) normally costs one dedicated side scan through a separate file
+// handle. But any full sequential scan already decodes every record in scan
+// order, which is all the planning scan does — so a counted scan that is
+// running anyway can observe its own record stream and leave the plan behind
+// as a side effect. The pass scheduler (internal/pipeline) and the parallel
+// executor's cold start (internal/exec) use this to make the first scan of a
+// file plan its partitions for free, closing the "-workers on cold
+// single-pass workloads" gap: one physical pass instead of a planning pass
+// plus a scan.
+
+// HasPartitionPlan reports whether the partition cut table is already cached,
+// i.e. whether Partitions can answer without a planning side scan.
+func (g *File) HasPartitionPlan() bool { return g.cuts != nil }
+
+// PlanCaptureViable reports whether an opportunistic capture could still
+// install a plan: no plan cached yet, no cached planning failure, and no
+// previously failed capture. Callers that would otherwise schedule a
+// planning side scan (the executor's cold start) consult this to decide
+// between capturing and planning.
+func (g *File) PlanCaptureViable() bool {
+	return g.cuts == nil && g.cutsErr == nil && !g.captureFailed
+}
+
+// ForEachBatchWithPlanCapture runs one full sequential scan exactly like
+// ForEachBatch — same records, same batches, same error, same Stats — and,
+// when no partition plan is cached yet, additionally captures the plan from
+// the records flowing by, installing it if the scan completes and the
+// computed offsets check out. fn observes nothing of the capture; a scan
+// aborted by fn or by a decode error installs nothing.
+func (g *File) ForEachBatchWithPlanCapture(fn func([]Record) error) error {
+	if g.cuts != nil || g.cutsErr != nil || g.captureFailed {
+		return g.ForEachBatch(fn)
+	}
+	cb := g.newCutBuilder()
+	err := g.ForEachBatch(func(batch []Record) error {
+		cb.observe(batch)
+		return fn(batch)
+	})
+	if err == nil {
+		g.installCapturedPlan(cb)
+	}
+	return err
+}
+
+// installCapturedPlan validates a captured cut table against the file and
+// caches it. Without a scanner position to cross-check (the capture rides an
+// arbitrary consumer's scan), validation compares the computed end offset to
+// the on-disk payload end. That check is exact, not merely aggregate:
+// encodedSize recomputes minimal encodings, so a computed record size can
+// only undershoot its on-disk length, drift is monotone non-decreasing along
+// the scan, and a matching total therefore implies every interior cut point
+// is correct. Trailing bytes after the last record fail the check; the
+// capture is then abandoned for the file's lifetime and planning falls back
+// to Partitions' self-checking side scan.
+func (g *File) installCapturedPlan(cb *cutBuilder) {
+	size, err := g.SizeBytes()
+	if err != nil || cb.read != g.header.Vertices || cb.off != size {
+		g.captureFailed = true
+		return
+	}
+	g.cuts = cb.table()
+}

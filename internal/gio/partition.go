@@ -61,6 +61,47 @@ func uvarintLen(x uint64) int64 {
 	return n
 }
 
+// cutBuilder accumulates a cutTable from the records of one full sequential
+// scan, recomputing each record's on-disk size from its decoded form. It is
+// shared by the dedicated planning side scan (buildCutTable) and the
+// opportunistic capture that rides an already-running counted scan
+// (ForEachBatchWithPlanCapture).
+type cutBuilder struct {
+	compressed bool
+	off        int64  // computed absolute offset past the last observed record
+	read       uint64 // records observed
+	ct         cutTable
+}
+
+func (g *File) newCutBuilder() *cutBuilder {
+	return &cutBuilder{
+		compressed: g.header.Flags&FlagCompressed != 0,
+		off:        HeaderSize,
+		ct:         cutTable{recs: []uint64{0}, offs: []int64{HeaderSize}},
+	}
+}
+
+// observe folds one batch of decoded records, in scan order, into the plan.
+func (b *cutBuilder) observe(batch []Record) {
+	for i := range batch {
+		b.off += encodedSize(b.compressed, batch[i])
+		b.read++
+		if b.off-b.ct.offs[len(b.ct.offs)-1] >= cutGranularity {
+			b.ct.recs = append(b.ct.recs, b.read)
+			b.ct.offs = append(b.ct.offs, b.off)
+		}
+	}
+}
+
+// table seals the accumulated plan, closing the final partition boundary.
+func (b *cutBuilder) table() *cutTable {
+	if last := len(b.ct.offs) - 1; b.ct.offs[last] != b.off {
+		b.ct.recs = append(b.ct.recs, b.read)
+		b.ct.offs = append(b.ct.offs, b.off)
+	}
+	return &b.ct
+}
+
 // buildCutTable runs the planning scan through a separate read-only handle
 // so it neither disturbs an active scan nor counts toward the file's Stats:
 // partitioning is metadata construction (like the degree-sort preprocessing),
@@ -75,23 +116,13 @@ func (g *File) buildCutTable() (*cutTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	compressed := g.header.Flags&FlagCompressed != 0
-	ct := &cutTable{recs: []uint64{0}, offs: []int64{HeaderSize}}
-	off := int64(HeaderSize)
-	var read uint64
+	cb := g.newCutBuilder()
 	for {
 		batch := sc.NextBatch()
 		if batch == nil {
 			break
 		}
-		for i := range batch {
-			off += encodedSize(compressed, batch[i])
-			read++
-			if off-ct.offs[len(ct.offs)-1] >= cutGranularity {
-				ct.recs = append(ct.recs, read)
-				ct.offs = append(ct.offs, off)
-			}
-		}
+		cb.observe(batch)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -99,14 +130,10 @@ func (g *File) buildCutTable() (*cutTable, error) {
 	// Cross-check the size arithmetic against the scanner's own position:
 	// a drift here would mean ScanPartition seeks into the middle of a
 	// record, so refuse to partition rather than decode garbage.
-	if want := sc.offset(); off != want {
-		return nil, fmt.Errorf("%w: %s: partition plan drifted: computed offset %d, scanner at %d", ErrBadFormat, g.path, off, want)
+	if want := sc.offset(); cb.off != want {
+		return nil, fmt.Errorf("%w: %s: partition plan drifted: computed offset %d, scanner at %d", ErrBadFormat, g.path, cb.off, want)
 	}
-	if last := len(ct.offs) - 1; ct.offs[last] != off {
-		ct.recs = append(ct.recs, read)
-		ct.offs = append(ct.offs, off)
-	}
-	return ct, nil
+	return cb.table(), nil
 }
 
 // Partitions splits the file into up to parts record-aligned partitions of

@@ -20,11 +20,18 @@ type File struct {
 	stats     *Stats
 	active    *prefetcher // the current scan's block pipeline, if any
 
-	// Cached partition-planning cut table (see Partitions). Built lazily by
-	// the first Partitions call with one side scan through a separate file
-	// handle; reused for every worker count afterwards.
+	// Cached partition-planning cut table (see Partitions). Captured
+	// opportunistically during the first full counted sequential scan
+	// (ForEachBatchWithPlanCapture), or built lazily by the first Partitions
+	// call with one side scan through a separate file handle; reused for
+	// every worker count afterwards.
 	cuts    *cutTable
 	cutsErr error
+	// captureFailed records a capture whose computed offsets did not match
+	// the file's payload (e.g. trailing bytes after the last record). The
+	// capture is not retried; Partitions' side scan, which cross-checks
+	// against the scanner's own position, remains the planner of record.
+	captureFailed bool
 }
 
 // Open opens an adjacency file for scanning. stats may be nil; blockSize
@@ -388,7 +395,10 @@ func (s *Scanner) more() bool {
 	return true
 }
 
-// finish marks a completed scan, counting it exactly once.
+// finish marks a completed scan, counting it exactly once. A plain engine
+// scan is one logical pass riding one physical pass; the pass scheduler
+// (internal/pipeline) adds the extra logical scans of a fused pass group on
+// top.
 func (s *Scanner) finish() {
 	if s.done {
 		return
@@ -396,6 +406,7 @@ func (s *Scanner) finish() {
 	s.done = true
 	if s.file.stats != nil && !s.detached {
 		s.file.stats.Scans++
+		s.file.stats.PhysicalScans++
 	}
 	s.close()
 }

@@ -7,7 +7,16 @@ import "fmt"
 // style measurements. Stats is not safe for concurrent use; each experiment
 // run owns one.
 type Stats struct {
-	Scans         int    // completed sequential scans of an adjacency file
+	// Scans counts completed logical scans: sequential passes the consuming
+	// algorithm's structure calls for. When the pass scheduler
+	// (internal/pipeline) fuses several logical passes into one shared
+	// physical scan, each fused pass still counts here, so an algorithm's
+	// Scans stays comparable whether or not fusion is enabled.
+	Scans int
+	// PhysicalScans counts completed end-to-end passes over the file — the
+	// scan count of the paper's I/O cost model, and the number fusion
+	// actually reduces. Without fusion, PhysicalScans == Scans.
+	PhysicalScans int
 	RecordsRead   uint64 // vertex records decoded
 	BytesRead     uint64
 	BytesWritten  uint64
@@ -18,6 +27,7 @@ type Stats struct {
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Scans += other.Scans
+	s.PhysicalScans += other.PhysicalScans
 	s.RecordsRead += other.RecordsRead
 	s.BytesRead += other.BytesRead
 	s.BytesWritten += other.BytesWritten
@@ -27,8 +37,8 @@ func (s *Stats) Add(other Stats) {
 
 // String formats the counters compactly.
 func (s *Stats) String() string {
-	return fmt.Sprintf("scans=%d records=%d read=%s written=%s blocks(r/w)=%d/%d",
-		s.Scans, s.RecordsRead, FormatBytes(s.BytesRead), FormatBytes(s.BytesWritten),
+	return fmt.Sprintf("scans=%d physical=%d records=%d read=%s written=%s blocks(r/w)=%d/%d",
+		s.Scans, s.PhysicalScans, s.RecordsRead, FormatBytes(s.BytesRead), FormatBytes(s.BytesWritten),
 		s.BlocksRead, s.BlocksWritten)
 }
 

@@ -20,9 +20,9 @@ func TestStateStrings(t *testing.T) {
 
 func TestStatesCollect(t *testing.T) {
 	st := NewStates(5)
-	st[1] = StateIS
-	st[3] = StateIS
-	st[4] = StateAdjacent
+	st.Set(1, StateIS)
+	st.Set(3, StateIS)
+	st.Set(4, StateAdjacent)
 	if st.CountIS() != 2 {
 		t.Fatalf("CountIS = %d", st.CountIS())
 	}
@@ -30,8 +30,56 @@ func TestStatesCollect(t *testing.T) {
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("Collect = %v", got)
 	}
-	if st.MemoryBytes() != 5 {
-		t.Fatalf("MemoryBytes = %d", st.MemoryBytes())
+	if st.MemoryBytes() != 3 {
+		t.Fatalf("MemoryBytes = %d, want 3 (5 vertices packed 2 per byte)", st.MemoryBytes())
+	}
+}
+
+// TestStatesPackedRoundTrip drives every state value through every packing
+// slot: odd and even nibbles, shared bytes, and the dangling half byte of an
+// odd-length array. Neighbor slots must be unaffected by a Set.
+func TestStatesPackedRoundTrip(t *testing.T) {
+	all := []State{StateInitial, StateIS, StateNonIS, StateAdjacent,
+		StateProtected, StateConflict, StateRetrograde}
+	const n = 33 // odd, so the last nibble is the dangling one
+	st := NewStates(n)
+	want := make([]State, n)
+	for i := 0; i < 4*n; i++ {
+		v := uint32((i * 13) % n)
+		s := all[(i*7)%len(all)]
+		st.Set(v, s)
+		want[v] = s
+		for u := 0; u < n; u++ {
+			if got := st.Get(uint32(u)); got != want[u] {
+				t.Fatalf("after Set(%d,%v): Get(%d) = %v, want %v", v, s, u, got, want[u])
+			}
+		}
+	}
+	snap := st.Snapshot()
+	for u := range snap {
+		if snap[u] != want[u] {
+			t.Fatalf("Snapshot[%d] = %v, want %v", u, snap[u], want[u])
+		}
+	}
+}
+
+// TestStatesPackedFootprint pins the satellite requirement: the packed array
+// must cost strictly less than the former byte-per-vertex layout — half of
+// it, rounded up — and Len must stay the vertex count, not the byte count.
+func TestStatesPackedFootprint(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 1024, 99999} {
+		st := NewStates(n)
+		before := uint64(n) // the previous []State representation: 1 byte/vertex
+		after := st.MemoryBytes()
+		if want := uint64((n + 1) / 2); after != want {
+			t.Fatalf("n=%d: MemoryBytes = %d, want %d", n, after, want)
+		}
+		if n > 1 && after >= before {
+			t.Fatalf("n=%d: packed footprint %d not below byte-per-vertex %d", n, after, before)
+		}
+		if st.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, st.Len())
+		}
 	}
 }
 

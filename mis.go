@@ -135,6 +135,7 @@ func fromCore(r *core.Result) *Result {
 		RoundGains:  append([]int(nil), r.RoundGains...),
 		MemoryBytes: r.MemoryBytes,
 		SCHighWater: r.SCHighWater,
+		Degrees:     DegreeStats(r.Degrees),
 		IO:          IOStats(r.IO),
 	}
 }

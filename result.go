@@ -19,8 +19,22 @@ type Result struct {
 	// SCHighWater is the peak number of vertices held in SC swap-candidate
 	// sets (two-k-swap only; Figure 10).
 	SCHighWater int
+	// Degrees summarizes the degree sequence (max, isolated count, 2·|E|),
+	// collected by a read-only logical pass fused into Greedy's marking scan
+	// — no extra physical scan. Zero-valued for other algorithms.
+	Degrees DegreeStats
 	// IO is the I/O performed by this run.
 	IO IOStats
+}
+
+// DegreeStats summarizes a file's degree sequence as observed by one scan.
+type DegreeStats struct {
+	// Max is the largest degree.
+	Max uint32
+	// Isolated counts zero-degree vertices.
+	Isolated int
+	// Sum is the directed degree sum, i.e. 2·|E|.
+	Sum uint64
 }
 
 // Vertices returns the members in ascending vertex-ID order.
@@ -54,9 +68,13 @@ func (r *Result) String() string {
 }
 
 // IOStats counts the I/O a run performed: sequential scans, records, bytes
-// and buffered blocks.
+// and buffered blocks. Scans counts logical passes (each algorithm pass
+// over the file); PhysicalScans counts actual end-to-end passes over the
+// disk — fewer than Scans when the pass scheduler fused logical passes into
+// shared physical scans, and the number the paper's I/O cost model prices.
 type IOStats struct {
 	Scans         int
+	PhysicalScans int
 	RecordsRead   uint64
 	BytesRead     uint64
 	BytesWritten  uint64
