@@ -11,7 +11,10 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-const fixture = "../../testdata/tiny.adj"
+const (
+	fixture           = "../../testdata/tiny.adj"
+	multiroundFixture = "../../testdata/multiround.adj"
+)
 
 // timeRe normalizes the one nondeterministic token in missolve's output.
 var timeRe = regexp.MustCompile(`time = [^ ]+`)
@@ -32,6 +35,11 @@ func TestGolden(t *testing.T) {
 		{"two-k-swap", "twokswap.golden", []string{"-alg", "two-k-swap", "-verify", "-bound", fixture}},
 		{"two-k-swap-workers7", "twokswap.golden", []string{"-workers", "7", "-alg", "two-k-swap", "-verify", "-bound", fixture}},
 		{"external-maximal", "external.golden", []string{"-alg", "external-maximal", "-verify", fixture}},
+		// The multi-round fixture pins the cross-round fusion win end to
+		// end: three swap rounds at one physical scan each (plus setup).
+		{"one-k-swap-multiround", "onekswap_multiround.golden", []string{"-alg", "one-k-swap", "-verify", multiroundFixture}},
+		{"two-k-swap-multiround", "twokswap_multiround.golden", []string{"-alg", "two-k-swap", "-verify", multiroundFixture}},
+		{"two-k-swap-multiround-workers4", "twokswap_multiround.golden", []string{"-workers", "4", "-alg", "two-k-swap", "-verify", multiroundFixture}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer

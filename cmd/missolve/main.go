@@ -93,9 +93,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Fprintf(stdout, "%s: |IS| = %d  time = %v  memory = %s  rounds = %d  scans = %d (physical %d)\n",
+	fmt.Fprintf(stdout, "%s: |IS| = %d  time = %v  memory = %s  rounds = %d  scans = %d (physical %d, carried %d)\n",
 		*alg, r.Size, elapsed.Round(time.Millisecond), formatBytes(r.MemoryBytes), r.Rounds,
-		r.IO.Scans, r.IO.PhysicalScans)
+		r.IO.Scans, r.IO.PhysicalScans, r.IO.CarriedScans)
 	if len(r.RoundGains) > 0 {
 		fmt.Fprintf(stdout, "round gains: %v\n", r.RoundGains)
 	}

@@ -10,7 +10,10 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-const fixture = "../../testdata/tiny.adj"
+const (
+	fixture           = "../../testdata/tiny.adj"
+	multiroundFixture = "../../testdata/multiround.adj"
+)
 
 // TestGolden locks misstat's report for the checked-in fixture graph, and
 // requires the parallel partitioned scan to render the identical report.
@@ -29,6 +32,28 @@ func TestGolden(t *testing.T) {
 				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 			}
 			compareGolden(t, "tiny.golden", stdout.Bytes())
+		})
+	}
+}
+
+// TestGoldenRounds locks the -rounds per-round scan breakdown on the
+// multi-round fixture — the CLI-observable form of the cross-round fusion's
+// one-physical-scan-per-round behavior — and requires parallel scans to
+// render the identical report.
+func TestGoldenRounds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"rounds", []string{"-rounds", multiroundFixture}},
+		{"rounds-workers4", []string{"-rounds", "-workers", "4", multiroundFixture}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			compareGolden(t, "multiround.golden", stdout.Bytes())
 		})
 	}
 }

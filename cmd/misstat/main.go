@@ -6,6 +6,7 @@
 //
 //	misstat graph1.adj graph2.adj ...
 //	misstat -workers 4 big.adj     # parallel partitioned histogram scan
+//	misstat -rounds graph.adj      # per-round swap scan breakdown
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gio"
 	"repro/internal/pipeline"
@@ -28,17 +30,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("misstat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workers := fs.Int("workers", 1, "goroutines decoding file partitions concurrently (0 = GOMAXPROCS)")
+	rounds := fs.Bool("rounds", false, "run the greedy-seeded swap algorithms and print a per-round scan breakdown")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: misstat [-workers n] <graph.adj> ...")
+		fmt.Fprintln(stderr, "usage: misstat [-workers n] [-rounds] <graph.adj> ...")
 		return 2
 	}
 	fmt.Fprintf(stdout, "%-28s %12s %14s %10s %12s %8s\n",
 		"Data Set", "|V|", "|E|", "Avg. Deg", "Disk Size", "Sorted")
 	for _, path := range fs.Args() {
-		if err := report(stdout, path, *workers); err != nil {
+		if err := report(stdout, path, *workers, *rounds); err != nil {
 			fmt.Fprintf(stderr, "misstat: %s: %v\n", path, err)
 			return 1
 		}
@@ -46,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func report(w io.Writer, path string, workers int) error {
+func report(w io.Writer, path string, workers int, rounds bool) error {
 	var stats gio.Stats
 	f, err := gio.Open(path, 0, &stats)
 	if err != nil {
@@ -112,5 +115,41 @@ func report(w io.Writer, path string, workers int) error {
 	// executor reproduces the sequential engine's numbers by construction).
 	fmt.Fprintf(w, "  io: scans=%d physical=%d records=%d\n",
 		stats.Scans, stats.PhysicalScans, stats.RecordsRead)
+	if rounds {
+		return reportRounds(w, f, workers)
+	}
+	return nil
+}
+
+// reportRounds runs the greedy-seeded swap algorithms and prints each
+// round's scan bill, making the cross-round fusion observable from the CLI:
+// a steady-state round shows exactly one physical scan, its pre-swap (and,
+// for two-k-swap, swap-validation) work appearing as carried logical scans
+// that rode the previous round's pass.
+func reportRounds(w io.Writer, f *gio.File, workers int) error {
+	src := exec.New(f, workers)
+	seed, err := core.Greedy(src)
+	if err != nil {
+		return err
+	}
+	type alg struct {
+		name string
+		run  func() (*core.Result, error)
+	}
+	for _, a := range []alg{
+		{"one-k-swap", func() (*core.Result, error) { return core.OneKSwap(src, seed.InSet, core.SwapOptions{}) }},
+		{"two-k-swap", func() (*core.Result, error) { return core.TwoKSwap(src, seed.InSet, core.SwapOptions{}) }},
+	} {
+		r, err := a.run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %s: |IS| %d -> %d in %d rounds, scans=%d physical=%d carried=%d\n",
+			a.name, seed.Size, r.Size, r.Rounds, r.IO.Scans, r.IO.PhysicalScans, r.IO.CarriedScans)
+		for i, io := range r.RoundIO {
+			fmt.Fprintf(w, "    round %d: gain %+d  scans=%d physical=%d carried=%d\n",
+				i+1, r.RoundGains[i], io.Scans, io.PhysicalScans, io.CarriedScans)
+		}
+	}
 	return nil
 }

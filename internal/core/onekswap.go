@@ -80,16 +80,27 @@ func (o SwapOptions) lastByBudget(round int) bool {
 // algorithm contains an edge.
 var ErrNotIndependent = errors.New("core: initial set is not independent")
 
+// oneKProduct names the cross-round state product of one-k-swap's setup and
+// post-swap passes: the complete state array, ISN sets and ISN preimage
+// counts the next round's pre-swap pass consumes.
+const oneKProduct = "one-k-states"
+
 // OneKSwap runs Algorithm 2: starting from the independent set initial
 // (indexed by vertex ID), it repeatedly exchanges one IS vertex for k ≥ 2
 // non-IS vertices until no 1-k swap applies. Each round performs a pre-swap
-// scan (detecting 1-2 swap skeletons and resolving swap conflicts by
+// pass (detecting 1-2 swap skeletons and resolving swap conflicts by
 // scan-order preemption), an in-memory swap step, and a post-swap scan
-// (0↔1 swaps and state recomputation). Every scan is a logical pass
-// registered with the scan scheduler; on the final round the maximality
-// sweep rides the post-swap scan as a fused deferred pass, saving one
-// physical scan per run. Only sequential scans touch the file; memory stays
-// at a few words per vertex.
+// (0↔1 swaps and state recomputation). Every pass is registered with the
+// scan scheduler, and the pre-swap pass is carried across rounds: because
+// the setup and post-swap scans maintain the ISN sets and preimage counts
+// incrementally — complete the moment their scan ends — the pre-swap work
+// of round r+1 rides round r's scan as a cross-round collection
+// (pipeline.Pass.Consumes) and resolves from memory, so a steady-state
+// round pays exactly one physical scan (down from two). On the final round
+// the maximality sweep rides the post-swap scan the same way. Overflow of
+// the carry buffer, a stall exit, or an Unfused schedule fall back to the
+// classic dedicated scans. Only sequential scans touch the file; memory
+// stays at a few words per vertex.
 func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	n := f.NumVertices()
 	if len(initial) != n {
@@ -111,10 +122,17 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	}
 
 	// Setup scan (Algorithm 2 lines 1–3): find A vertices and their ISN,
-	// validating independence of the input along the way.
+	// validating independence of the input along the way. Round 1's
+	// pre-swap collection rides it — at end of scan the states and ISN
+	// counts it consumes are complete.
+	var carry *carryCollector
+	if !opts.Unfused {
+		carry = newCarryCollector(states, false)
+	}
 	setup := opts.scheduler(f)
 	setup.Add(pipeline.Pass{
 		Name:           "one-k-setup",
+		Produces:       oneKProduct,
 		MutatesStates:  true,
 		NeedsScanOrder: true,
 		Batch: func(batch []gio.Record) error {
@@ -143,6 +161,9 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 			return nil
 		},
 	})
+	if carry != nil {
+		setup.Add(carry.pass("one-k-pre-swap-carry", oneKProduct))
+	}
 	if err := setup.Run(); err != nil {
 		return nil, err
 	}
@@ -155,10 +176,12 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
 			break
 		}
-		canSwap, err := oneKRound(f, states, isn, opts, round+1, opts.lastByBudget(round), sw)
+		roundSnap := snapshot(f.Stats())
+		canSwap, err := oneKRound(f, states, isn, opts, round+1, opts.lastByBudget(round), sw, carry)
 		if err != nil {
 			return nil, err
 		}
+		res.RoundIO = append(res.RoundIO, statsDelta(f.Stats(), roundSnap))
 		res.Rounds++
 		newSize := states.CountIS()
 		res.RoundGains = append(res.RoundGains, newSize-size)
@@ -183,75 +206,98 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	opts.tracePhase(res.Rounds, "sweep", states)
 
 	res.collectIS(states)
-	res.MemoryBytes = states.MemoryBytes() + isn.MemoryBytes() + sw.peak
+	res.MemoryBytes = states.MemoryBytes() + isn.MemoryBytes() + sw.buf.MemoryPeak()
+	if carry != nil {
+		res.MemoryBytes += carry.memoryBytes()
+	}
 	res.IO = statsDelta(f.Stats(), snap)
 	return res, nil
 }
 
-// oneKRound executes one round: pre-swap scan, swap step, post-swap scan.
-// It reports whether any swap fired (an R vertex left the set). final marks
-// a round known — before its post-swap scan starts — to be the last (no
-// swap fired, or the round budget is exhausted); the maximality sweep is
-// then scheduled as a deferred pass fused into the post-swap scan.
-func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int, lastByBudget bool, sw *sweeper) (bool, error) {
-	// Pre-swap scan (Algorithm 2 lines 7–14).
-	pre := opts.scheduler(f)
-	pre.Add(pipeline.Pass{
-		Name:           "one-k-pre-swap",
-		MutatesStates:  true,
-		NeedsScanOrder: true,
-		Batch: func(batch []gio.Record) error {
-		records:
-			for i := range batch {
-				r := &batch[i]
-				u := r.ID
-				if states.Get(u) != semiext.StateAdjacent {
-					continue
-				}
-				// (i) Conflict: a neighbor already claimed a swap this round.
-				for _, nb := range r.Neighbors {
-					if states.Get(nb) == semiext.StateProtected {
-						states.Set(u, semiext.StateConflict)
-						isn.Clear(u)
-						continue records
-					}
-				}
-				w, _, cnt := isn.Get(u)
-				if cnt != 1 {
-					// Defensive: an A vertex always has exactly one ISN here.
-					states.Set(u, semiext.StateNonIS)
-					continue
-				}
-				switch states.Get(w) {
-				case semiext.StateIS:
-					// (ii) 1-2 swap skeleton (u, v, w): some other still-A vertex v
-					// with ISN(v) = w is not adjacent to u. With x = u's neighbors
-					// naming w, a witness exists iff |ISN⁻¹(w)| ≥ x + 2 (the count
-					// includes u itself).
-					x := uint32(0)
-					for _, nb := range r.Neighbors {
-						if states.Get(nb) == semiext.StateAdjacent && isn.Has(nb, w) {
-							if _, _, c := isn.Get(nb); c == 1 {
-								x++
-							}
-						}
-					}
-					if isn.PreimageCount(w) >= x+2 {
-						states.Set(u, semiext.StateProtected)
-						isn.Clear(u)
-						states.Set(w, semiext.StateRetrograde)
-					}
-				case semiext.StateRetrograde:
-					// (iii) w is already leaving; u joins the swap.
-					states.Set(u, semiext.StateProtected)
-					isn.Clear(u)
+// oneKPreRecord runs the pre-swap logic of Algorithm 2 lines 7–14 for one
+// record. It is shared between the classic dedicated pre-swap scan and the
+// cross-round replay, which both invoke it for every A vertex in scan
+// order — against the same completed post-swap state, so the two paths are
+// bit-identical.
+func oneKPreRecord(states semiext.States, isn *semiext.ISN, u uint32, neighbors []uint32) {
+	if states.Get(u) != semiext.StateAdjacent {
+		return
+	}
+	// (i) Conflict: a neighbor already claimed a swap this round.
+	for _, nb := range neighbors {
+		if states.Get(nb) == semiext.StateProtected {
+			states.Set(u, semiext.StateConflict)
+			isn.Clear(u)
+			return
+		}
+	}
+	w, _, cnt := isn.Get(u)
+	if cnt != 1 {
+		// Defensive: an A vertex always has exactly one ISN here.
+		states.Set(u, semiext.StateNonIS)
+		return
+	}
+	switch states.Get(w) {
+	case semiext.StateIS:
+		// (ii) 1-2 swap skeleton (u, v, w): some other still-A vertex v
+		// with ISN(v) = w is not adjacent to u. With x = u's neighbors
+		// naming w, a witness exists iff |ISN⁻¹(w)| ≥ x + 2 (the count
+		// includes u itself).
+		x := uint32(0)
+		for _, nb := range neighbors {
+			if states.Get(nb) == semiext.StateAdjacent && isn.Has(nb, w) {
+				if _, _, c := isn.Get(nb); c == 1 {
+					x++
 				}
 			}
-			return nil
-		},
-	})
-	if err := pre.Run(); err != nil {
-		return false, fmt.Errorf("core: one-k-swap: pre-swap: %w", err)
+		}
+		if isn.PreimageCount(w) >= x+2 {
+			states.Set(u, semiext.StateProtected)
+			isn.Clear(u)
+			states.Set(w, semiext.StateRetrograde)
+		}
+	case semiext.StateRetrograde:
+		// (iii) w is already leaving; u joins the swap.
+		states.Set(u, semiext.StateProtected)
+		isn.Clear(u)
+	}
+}
+
+// oneKRound executes one round: pre-swap pass, swap step, post-swap scan.
+// It reports whether any swap fired (an R vertex left the set). The
+// pre-swap pass resolves from the carry collected by the previous scan when
+// one is available, paying no physical scan; otherwise (unfused, overflow,
+// first round of an Unfused run) it runs as the classic dedicated scan.
+// lastByBudget marks a round known — before its post-swap scan starts — to
+// be the last (no swap fired, or the round budget is exhausted); the
+// maximality sweep is then scheduled as a deferred pass fused into the
+// post-swap scan, and no carry is collected. A non-final post-swap scan
+// instead carries the next round's pre-swap collection.
+func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int, lastByBudget bool, sw *sweeper, carry *carryCollector) (bool, error) {
+	// Pre-swap (Algorithm 2 lines 7–14): replay the carried collection, or
+	// pay the classic dedicated scan.
+	if carry != nil && carry.ready() {
+		pipeline.ResolveCarried(f)
+		carry.forEach(func(u uint32, neighbors []uint32) {
+			oneKPreRecord(states, isn, u, neighbors)
+		})
+		carry.reset()
+	} else {
+		pre := opts.scheduler(f)
+		pre.Add(pipeline.Pass{
+			Name:           "one-k-pre-swap",
+			MutatesStates:  true,
+			NeedsScanOrder: true,
+			Batch: func(batch []gio.Record) error {
+				for i := range batch {
+					oneKPreRecord(states, isn, batch[i].ID, batch[i].Neighbors)
+				}
+				return nil
+			},
+		})
+		if err := pre.Run(); err != nil {
+			return false, fmt.Errorf("core: one-k-swap: pre-swap: %w", err)
+		}
 	}
 	opts.tracePhase(round, "pre-swap", states)
 
@@ -269,12 +315,16 @@ func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptio
 	opts.tracePhase(round, "swap", states)
 
 	// Post-swap scan (lines 20–28), with the maximality sweep fused in when
-	// this is knowably the final round.
+	// this is knowably the final round — and the next round's pre-swap
+	// collection fused in when it is not.
 	post := opts.scheduler(f)
 	postPass := postSwapPass(states, isn, false)
 	post.Add(postPass)
-	if !canSwap || lastByBudget {
+	switch {
+	case !canSwap || lastByBudget:
 		post.Add(sw.pass(postPass.Name))
+	case carry != nil:
+		post.Add(carry.pass("one-k-pre-swap-carry", postPass.Produces))
 	}
 	if err := post.Run(); err != nil {
 		return false, fmt.Errorf("core: one-k-swap: post-swap: %w", err)
@@ -294,12 +344,13 @@ func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptio
 // cascade-swap graph of Figure 5 cannot progress past its first group
 // otherwise, contradicting the paper's own worst-case analysis.
 func postSwapPass(states semiext.States, isn *semiext.ISN, two bool) pipeline.Pass {
-	name := "one-k-post-swap"
+	name, product := "one-k-post-swap", oneKProduct
 	if two {
-		name = "two-k-post-swap"
+		name, product = "two-k-post-swap", twoKProduct
 	}
 	return pipeline.Pass{
 		Name:           name,
+		Produces:       product,
 		MutatesStates:  true,
 		NeedsScanOrder: true,
 		Batch: func(batch []gio.Record) error {

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/plrg"
+)
+
+// The randomized cross-algorithm property harness: rather than trusting the
+// two tiny checked-in fixtures, it drives the generator models the paper
+// evaluates on — the power-law P(α,β) model and the uniform (Erdős–Rényi)
+// model — across a seed sweep and holds every algorithm to the properties
+// the paper claims, on every graph:
+//
+//   - the returned set is independent AND maximal (core.VerifyBoth, itself
+//     a fused pair of scan passes);
+//   - fused and unfused schedules produce bit-identical results (the
+//     cross-round carry, the sweep fusion and the classic dedicated scans
+//     are different executions of the same algorithm);
+//   - the parallel partitioned executor at workers 2 and 4 reproduces the
+//     sequential result exactly;
+//   - the scan accounting stays sane (PhysicalScans ≤ Scans, fused logical
+//     count equal to unfused).
+
+// propertyGraphs yields the generator sweep: one power-law and one uniform
+// graph per seed. Sizes are kept small enough that the whole matrix (seeds ×
+// models × algorithms × schedules × workers) stays in test-suite budget
+// while still producing multi-round swap runs on many seeds.
+func propertyGraphs(seed int64) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"plrg":    plrg.PowerLawN(150, 2.0, seed),
+		"uniform": plrg.ErdosRenyi(120, 300, seed),
+	}
+}
+
+// writeSorted writes g degree-sorted (the paper's preprocessing) and opens
+// it with fresh stats.
+func writeSorted(t *testing.T, g *graph.Graph) *gio.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prop.adj")
+	if err := gio.WriteGraphSorted(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	stats := &gio.Stats{}
+	f, err := gio.Open(path, 0, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// requireSameResult asserts two runs of the same algorithm produced
+// bit-identical sets and round traces.
+func requireSameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.InSet, b.InSet) || a.Size != b.Size {
+		t.Fatalf("%s: sets differ (%d vs %d vertices)", label, a.Size, b.Size)
+	}
+	if a.Rounds != b.Rounds || !reflect.DeepEqual(a.RoundGains, b.RoundGains) {
+		t.Fatalf("%s: round traces differ: %d/%v vs %d/%v",
+			label, a.Rounds, a.RoundGains, b.Rounds, b.RoundGains)
+	}
+	if a.SCHighWater != b.SCHighWater {
+		t.Fatalf("%s: SC high water differs: %d vs %d", label, a.SCHighWater, b.SCHighWater)
+	}
+}
+
+// TestPropertyAllAlgorithms is the seed sweep over all six algorithms.
+func TestPropertyAllAlgorithms(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	multiround := 0
+	for _, seed := range seeds {
+		for model, g := range propertyGraphs(seed) {
+			t.Run(fmt.Sprintf("%s-seed%d", model, seed), func(t *testing.T) {
+				multiround += runPropertyCase(t, g)
+			})
+		}
+	}
+	// The sweep must actually exercise the cross-round carry: demand that a
+	// reasonable share of the generated graphs took ≥ 2 swap rounds.
+	if min := len(seeds) / 3; multiround < min {
+		t.Errorf("only %d of %d seed/model cases ran multi-round swaps (want ≥ %d); regenerate the sweep parameters",
+			multiround, 2*len(seeds), min)
+	}
+}
+
+// runPropertyCase checks every property on one graph and reports whether
+// the swap algorithms ran more than one round (i.e. the cross-round carry
+// was exercised in steady state).
+func runPropertyCase(t *testing.T, g *graph.Graph) (multiround int) {
+	t.Helper()
+	f := writeSorted(t, g)
+
+	// Greedy seeds the swaps and must itself be independent + maximal.
+	seed, err := Greedy(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBoth(f, seed.InSet); err != nil {
+		t.Fatalf("greedy: %v", err)
+	}
+
+	base, err := Baseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBoth(f, base.InSet); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	ext, err := ExternalMaximal(f, ExternalMaximalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBoth(f, ext.InSet); err != nil {
+		t.Fatalf("external-maximal: %v", err)
+	}
+
+	// DynamicUpdate is the in-memory competitor; verify against the graph.
+	dyn := DynamicUpdate(g)
+	if err := VerifyIndependentGraph(g, dyn.InSet); err != nil {
+		t.Fatalf("dynamic-update: %v", err)
+	}
+	if err := VerifyMaximalGraph(g, dyn.InSet); err != nil {
+		t.Fatalf("dynamic-update: %v", err)
+	}
+
+	// Swap algorithms: fused vs unfused parity, verification, monotone
+	// improvement over the seed, and workers parity.
+	type swapAlg struct {
+		name string
+		run  func(src Source, opts SwapOptions) (*Result, error)
+	}
+	for _, alg := range []swapAlg{
+		{"one-k-swap", func(src Source, opts SwapOptions) (*Result, error) {
+			return OneKSwap(src, seed.InSet, opts)
+		}},
+		{"two-k-swap", func(src Source, opts SwapOptions) (*Result, error) {
+			return TwoKSwap(src, seed.InSet, opts)
+		}},
+	} {
+		fused, err := alg.run(f, SwapOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		if err := VerifyBoth(f, fused.InSet); err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		if fused.Size < seed.Size {
+			t.Fatalf("%s: shrank the seed set: %d < %d", alg.name, fused.Size, seed.Size)
+		}
+		if fused.Rounds > 1 {
+			multiround = 1
+		}
+
+		unfused, err := alg.run(f, SwapOptions{Unfused: true})
+		if err != nil {
+			t.Fatalf("%s unfused: %v", alg.name, err)
+		}
+		requireSameResult(t, alg.name+" fused-vs-unfused", fused, unfused)
+		if unfused.IO.PhysicalScans != unfused.IO.Scans {
+			t.Fatalf("%s: unfused run fused something: %d physical of %d logical",
+				alg.name, unfused.IO.PhysicalScans, unfused.IO.Scans)
+		}
+		if fused.IO.Scans != unfused.IO.Scans {
+			t.Fatalf("%s: fused logical scans %d != unfused %d",
+				alg.name, fused.IO.Scans, unfused.IO.Scans)
+		}
+		if fused.IO.PhysicalScans > fused.IO.Scans {
+			t.Fatalf("%s: physical %d > logical %d", alg.name, fused.IO.PhysicalScans, fused.IO.Scans)
+		}
+
+		for _, workers := range []int{2, 4} {
+			par, err := alg.run(exec.New(f, workers), SwapOptions{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", alg.name, workers, err)
+			}
+			requireSameResult(t, fmt.Sprintf("%s workers=%d", alg.name, workers), fused, par)
+		}
+	}
+
+	// Workers parity for the scan-only algorithms.
+	for _, workers := range []int{2, 4} {
+		pg, err := Greedy(exec.New(f, workers))
+		if err != nil {
+			t.Fatalf("greedy workers=%d: %v", workers, err)
+		}
+		requireSameResult(t, fmt.Sprintf("greedy workers=%d", workers), seed, pg)
+		pe, err := ExternalMaximal(exec.New(f, workers), ExternalMaximalOptions{})
+		if err != nil {
+			t.Fatalf("external-maximal workers=%d: %v", workers, err)
+		}
+		requireSameResult(t, fmt.Sprintf("external-maximal workers=%d", workers), ext, pe)
+	}
+	return multiround
+}

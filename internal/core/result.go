@@ -27,6 +27,13 @@ type Result struct {
 	// RoundGains is the number of net-new IS vertices added per round
 	// (Table 8's early-stop measurements). Empty for non-swap algorithms.
 	RoundGains []int
+	// RoundIO is the I/O performed by each swap round (pre-swap through
+	// post-swap, aligned with RoundGains; the setup scan is charged to no
+	// round). With cross-round fusion a steady-state round shows one
+	// physical scan and one or two carried logical scans — the pre-swap
+	// (and, for two-k-swap, swap-validation) work that rode the previous
+	// round's post-swap pass. Empty for non-swap algorithms.
+	RoundIO []gio.Stats
 	// MemoryBytes is the in-memory footprint of the algorithm's auxiliary
 	// structures (state array, ISN, SC, queues) at their high-water mark.
 	MemoryBytes uint64
@@ -70,6 +77,7 @@ func (r *Result) Clone() *Result {
 	c.InSet = make([]bool, len(r.InSet))
 	copy(c.InSet, r.InSet)
 	c.RoundGains = append([]int(nil), r.RoundGains...)
+	c.RoundIO = append([]gio.Stats(nil), r.RoundIO...)
 	return &c
 }
 
@@ -104,6 +112,7 @@ func statsDelta(stats *gio.Stats, snap gio.Stats) gio.Stats {
 	return gio.Stats{
 		Scans:         stats.Scans - snap.Scans,
 		PhysicalScans: stats.PhysicalScans - snap.PhysicalScans,
+		CarriedScans:  stats.CarriedScans - snap.CarriedScans,
 		RecordsRead:   stats.RecordsRead - snap.RecordsRead,
 		BytesRead:     stats.BytesRead - snap.BytesRead,
 		BytesWritten:  stats.BytesWritten - snap.BytesWritten,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -8,12 +10,25 @@ import (
 	"repro/internal/pipeline"
 )
 
-const tinyFixture = "../../testdata/tiny.adj"
+const (
+	tinyFixture = "../../testdata/tiny.adj"
+	// multiroundFixture is a 6×6 grid (misgen -kind grid -rows 6 -cols 6),
+	// chosen because the greedy seed leaves both swap algorithms three
+	// rounds of work (gains 2, 2, 0) — enough steady-state rounds to pin
+	// the cross-round fusion's one-physical-scan-per-round behavior in a
+	// golden, where tiny.adj converges after a single round.
+	multiroundFixture = "../../testdata/multiround.adj"
+)
 
 func openTiny(t *testing.T) (*gio.File, *gio.Stats) {
 	t.Helper()
+	return openFixture(t, tinyFixture)
+}
+
+func openFixture(t *testing.T, path string) (*gio.File, *gio.Stats) {
+	t.Helper()
 	stats := &gio.Stats{}
-	f, err := gio.Open(tinyFixture, 0, stats)
+	f, err := gio.Open(path, 0, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,15 +39,17 @@ func openTiny(t *testing.T) (*gio.File, *gio.Stats) {
 // TestScanCountGolden pins the exact logical and physical scan counts of
 // every algorithm on the checked-in fixture graph, so a future change cannot
 // silently reintroduce an extra physical scan (or silently drop a logical
-// pass). The fixture converges in one swap round, so the expected counts
-// decompose as:
+// pass). The fixture converges in one swap round; with the cross-round
+// carry the swap algorithms' pre-swap (and two-k's validating swap) passes
+// resolve from the collection that rode the setup scan, so the expected
+// counts decompose as:
 //
-//	greedy            setup(mark+stats fused)                     → 2 logical / 1 physical
-//	one-k-swap        setup + (pre + post·sweep fused)            → 4 logical / 3 physical
-//	two-k-swap        setup·deg + (pre + swap + post·sweep)       → 6 logical / 4 physical
-//	external-maximal  positions + time-forward (unfusable)        → 2 logical / 2 physical
-//	upper-bound       one pass                                    → 1 logical / 1 physical
-//	verify-both       independent·maximal fused                   → 2 logical / 1 physical
+//	greedy            setup(mark+stats fused)                      → 2 logical / 1 physical
+//	one-k-swap        setup·carry + (pre carried + post·sweep)     → 4 logical / 2 physical
+//	two-k-swap        setup·deg·carry + (pre+swap carried + post·sweep) → 6 logical / 2 physical
+//	external-maximal  positions + time-forward (unfusable)         → 2 logical / 2 physical
+//	upper-bound       one pass                                     → 1 logical / 1 physical
+//	verify-both       independent·maximal fused                    → 2 logical / 1 physical
 func TestScanCountGolden(t *testing.T) {
 	f, stats := openTiny(t)
 
@@ -49,7 +66,10 @@ func TestScanCountGolden(t *testing.T) {
 	if one.Rounds != 1 {
 		t.Fatalf("one-k-swap rounds = %d, want 1 (fixture drifted; regenerate goldens)", one.Rounds)
 	}
-	checkIO(t, "one-k-swap", one.IO, 4, 3)
+	checkIO(t, "one-k-swap", one.IO, 4, 2)
+	if one.IO.CarriedScans != 1 {
+		t.Fatalf("one-k-swap carried scans = %d, want 1", one.IO.CarriedScans)
+	}
 
 	two, err := TwoKSwap(f, greedy.InSet, SwapOptions{})
 	if err != nil {
@@ -58,7 +78,10 @@ func TestScanCountGolden(t *testing.T) {
 	if two.Rounds != 1 {
 		t.Fatalf("two-k-swap rounds = %d, want 1 (fixture drifted; regenerate goldens)", two.Rounds)
 	}
-	checkIO(t, "two-k-swap", two.IO, 6, 4)
+	checkIO(t, "two-k-swap", two.IO, 6, 2)
+	if two.IO.CarriedScans != 2 {
+		t.Fatalf("two-k-swap carried scans = %d, want 2", two.IO.CarriedScans)
+	}
 
 	ext, err := ExternalMaximal(f, ExternalMaximalOptions{})
 	if err != nil {
@@ -91,6 +114,149 @@ func scanDelta(now, before gio.Stats) gio.Stats {
 	return gio.Stats{
 		Scans:         now.Scans - before.Scans,
 		PhysicalScans: now.PhysicalScans - before.PhysicalScans,
+	}
+}
+
+// TestScanCountGoldenMultiround pins the cross-round fusion win on the
+// multi-round fixture: every steady-state swap round costs exactly one
+// physical scan (the round's own post-swap pass; its pre-swap — and, for
+// two-k-swap, swap-validation — work rode the previous scan as a carried
+// collection), so a whole run costs Rounds+1 physical scans. The per-round
+// I/O trace pins the same fact round by round.
+func TestScanCountGoldenMultiround(t *testing.T) {
+	f, _ := openFixture(t, multiroundFixture)
+
+	greedy, err := Greedy(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	one, err := OneKSwap(f, greedy.InSet, SwapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Rounds != 3 {
+		t.Fatalf("one-k-swap rounds = %d, want 3 (fixture drifted; regenerate goldens)", one.Rounds)
+	}
+	// setup·carry (1 phys) + 3 × (pre carried + post scan) + sweep fused:
+	// 8 logical, 4 physical, 3 carried.
+	checkIO(t, "one-k-swap", one.IO, 8, 4)
+	if one.IO.CarriedScans != 3 {
+		t.Fatalf("one-k-swap carried scans = %d, want 3", one.IO.CarriedScans)
+	}
+
+	two, err := TwoKSwap(f, greedy.InSet, SwapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Rounds != 3 {
+		t.Fatalf("two-k-swap rounds = %d, want 3 (fixture drifted; regenerate goldens)", two.Rounds)
+	}
+	// setup·deg·carry (1 phys) + 3 × (pre+swap carried + post scan) +
+	// sweep fused: 12 logical, 4 physical, 6 carried.
+	checkIO(t, "two-k-swap", two.IO, 12, 4)
+	if two.IO.CarriedScans != 6 {
+		t.Fatalf("two-k-swap carried scans = %d, want 6", two.IO.CarriedScans)
+	}
+
+	for _, tc := range []struct {
+		name          string
+		res           *Result
+		carriedARound int // carried logical scans per steady-state round
+	}{
+		{"one-k-swap", one, 1},
+		{"two-k-swap", two, 2},
+	} {
+		if len(tc.res.RoundIO) != tc.res.Rounds {
+			t.Fatalf("%s: %d RoundIO entries for %d rounds", tc.name, len(tc.res.RoundIO), tc.res.Rounds)
+		}
+		for i, io := range tc.res.RoundIO {
+			if io.PhysicalScans != 1 {
+				t.Errorf("%s round %d: %d physical scans, want exactly 1", tc.name, i+1, io.PhysicalScans)
+			}
+			if io.CarriedScans != tc.carriedARound {
+				t.Errorf("%s round %d: %d carried scans, want %d", tc.name, i+1, io.CarriedScans, tc.carriedARound)
+			}
+		}
+	}
+}
+
+// TestStatsInvariants guards the scan accounting against drift under the
+// cross-round fusion, for every algorithm on both fixtures: the logical
+// count never decreases when fusion is enabled (it stays exactly equal to
+// the unfused run's — fusion changes where work happens, never how much),
+// PhysicalScans ≤ Scans always, and carried scans never exceed logical
+// ones.
+func TestStatsInvariants(t *testing.T) {
+	type run struct {
+		name string
+		io   func(f *gio.File, unfused bool) gio.Stats
+	}
+	runs := []run{
+		{"greedy", func(f *gio.File, unfused bool) gio.Stats {
+			r, err := GreedyScheduled(f, pipeline.Options{Unfused: unfused})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.IO
+		}},
+		{"one-k-swap", func(f *gio.File, unfused bool) gio.Stats {
+			seed, err := GreedyScheduled(f, pipeline.Options{Unfused: unfused})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := OneKSwap(f, seed.InSet, SwapOptions{Unfused: unfused})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.IO
+		}},
+		{"two-k-swap", func(f *gio.File, unfused bool) gio.Stats {
+			seed, err := GreedyScheduled(f, pipeline.Options{Unfused: unfused})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := TwoKSwap(f, seed.InSet, SwapOptions{Unfused: unfused})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.IO
+		}},
+		{"external-maximal", func(f *gio.File, unfused bool) gio.Stats {
+			r, err := ExternalMaximal(f, ExternalMaximalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.IO
+		}},
+	}
+	for _, fixture := range []string{tinyFixture, multiroundFixture} {
+		for _, r := range runs {
+			var io [2]gio.Stats
+			for i, unfused := range []bool{false, true} {
+				f, _ := openFixture(t, fixture)
+				io[i] = r.io(f, unfused)
+				label := fmt.Sprintf("%s/%s unfused=%v", filepath.Base(fixture), r.name, unfused)
+				if io[i].PhysicalScans > io[i].Scans {
+					t.Errorf("%s: PhysicalScans %d > Scans %d", label, io[i].PhysicalScans, io[i].Scans)
+				}
+				if io[i].CarriedScans > io[i].Scans {
+					t.Errorf("%s: CarriedScans %d > Scans %d", label, io[i].CarriedScans, io[i].Scans)
+				}
+			}
+			fused, unfused := io[0], io[1]
+			if fused.Scans < unfused.Scans {
+				t.Errorf("%s/%s: fusion decreased logical scans: %d fused < %d unfused",
+					filepath.Base(fixture), r.name, fused.Scans, unfused.Scans)
+			}
+			if fused.Scans != unfused.Scans {
+				t.Errorf("%s/%s: fused logical scans %d != unfused %d (accounting drifted)",
+					filepath.Base(fixture), r.name, fused.Scans, unfused.Scans)
+			}
+			if unfused.CarriedScans != 0 {
+				t.Errorf("%s/%s: unfused run carried %d scans", filepath.Base(fixture), r.name, unfused.CarriedScans)
+			}
+		}
 	}
 }
 

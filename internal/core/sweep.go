@@ -24,25 +24,20 @@ import (
 //     with its in-hand neighbor list and resolved in scan order once the
 //     scan — and with it every possible IS addition — has completed.
 //
-// The deferral needs the pending vertices' neighbor lists in memory. That
-// stays within the semi-external budget for the sweep's real population
-// (vertices with no IS neighbor after swapping are rare), but it is bounded
-// defensively: past ~|V| stored neighbors the sweeper abandons deferral and
-// apply falls back to the classic dedicated sweep scan, which is equivalent
-// by construction (property 2's "sweep after the scan" is exactly that
-// scan). The same collect-then-resolve implementation also runs unfused —
-// collection as its own physical scan — where it degenerates to the classic
-// sweep over the final post-swap states.
+// The deferral needs the pending vertices' neighbor lists in memory — a
+// semiext.RecordBuffer, the same bounded deferral store the cross-round
+// carry uses. That stays within the semi-external budget for the sweep's
+// real population (vertices with no IS neighbor after swapping are rare),
+// but it is bounded defensively: past ~|V| stored neighbors the buffer
+// overflows and apply falls back to the classic dedicated sweep scan, which
+// is equivalent by construction (property 2's "sweep after the scan" is
+// exactly that scan). The same collect-then-resolve implementation also
+// runs unfused — collection as its own physical scan — where it
+// degenerates to the classic sweep over the final post-swap states.
 type sweeper struct {
 	f      Source
 	states semiext.States
-
-	ids      []uint32 // pending vertices, in scan order
-	nbrs     []uint32 // their neighbor lists, back to back
-	heads    []uint32 // nbrs end offset per pending vertex
-	budget   int      // max stored neighbor entries before overflow
-	overflow bool
-	peak     uint64 // high-water bytes of the deferral storage
+	buf    *semiext.RecordBuffer // pending vertices, in scan order
 
 	// collected is set when the sweep pass was scheduled into a post-swap
 	// scan; the owning algorithm must then call apply after its round loop
@@ -51,7 +46,11 @@ type sweeper struct {
 }
 
 func newSweeper(f Source, states semiext.States) *sweeper {
-	return &sweeper{f: f, states: states, budget: states.Len() + 1024}
+	return &sweeper{
+		f:      f,
+		states: states,
+		buf:    semiext.NewRecordBuffer(states.Len()+1024, false),
+	}
 }
 
 // pass returns the sweep as a logical pass riding the named post-swap pass,
@@ -87,19 +86,8 @@ func (sw *sweeper) batch(batch []gio.Record) error {
 				break
 			}
 		}
-		if covered || sw.overflow {
-			continue
-		}
-		if len(sw.nbrs)+len(r.Neighbors) > sw.budget {
-			sw.overflow = true
-			sw.ids, sw.nbrs, sw.heads = nil, nil, nil
-			continue
-		}
-		sw.ids = append(sw.ids, u)
-		sw.nbrs = append(sw.nbrs, r.Neighbors...)
-		sw.heads = append(sw.heads, uint32(len(sw.nbrs)))
-		if cur := uint64(len(sw.ids)+len(sw.heads)+len(sw.nbrs)) * 4; cur > sw.peak {
-			sw.peak = cur
+		if !covered {
+			sw.buf.Append(u, 0, r.Neighbors)
 		}
 	}
 	return nil
@@ -120,25 +108,18 @@ func (sw *sweeper) finish() error {
 // none of its recorded neighbors has (by now) entered the set. On overflow
 // it runs the classic dedicated sweep scan instead.
 func (sw *sweeper) apply() error {
-	if sw.overflow {
+	if sw.buf.Overflowed() {
 		return maximalitySweep(sw.f, sw.states)
 	}
-	start := uint32(0)
-	for i, u := range sw.ids {
-		end := sw.heads[i]
-		join := true
-		for _, nb := range sw.nbrs[start:end] {
+	sw.buf.ForEach(func(u uint32, neighbors []uint32) {
+		for _, nb := range neighbors {
 			if sw.states.Get(nb) == semiext.StateIS {
-				join = false
-				break
+				return
 			}
 		}
-		if join {
-			sw.states.Set(u, semiext.StateIS)
-		}
-		start = end
-	}
-	sw.ids, sw.nbrs, sw.heads = nil, nil, nil
+		sw.states.Set(u, semiext.StateIS)
+	})
+	sw.buf.Reset()
 	return nil
 }
 

@@ -2,11 +2,17 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gio"
 	"repro/internal/pipeline"
 	"repro/internal/semiext"
 )
+
+// twoKProduct names the cross-round state product of two-k-swap's setup and
+// post-swap passes: the complete state array, ISN sets and ISN preimage
+// counts the next round's pre-swap and validating swap passes consume.
+const twoKProduct = "two-k-states"
 
 // twoKState bundles the per-round in-memory structures of Algorithm 3.
 type twoKState struct {
@@ -14,6 +20,12 @@ type twoKState struct {
 	isn    *semiext.ISN
 	deg    []uint32
 	sc     *semiext.SCStore
+
+	// carry holds the cross-round collection (A vertices with adjacency,
+	// plus the scan-position table): round r's setup/post-swap scan
+	// collects, round r+1's pre-swap and validating swap passes replay.
+	// Nil under an Unfused schedule.
+	carry *carryCollector
 
 	// seenPair[key(w1,w2)] lists scanned A vertices whose ISN is exactly
 	// {w1, w2}; seenOne[w] lists those whose ISN is exactly {w}. Entries are
@@ -53,12 +65,19 @@ func pairKey(w1, w2 uint32) uint64 {
 // TwoKSwap runs Algorithms 3 and 4: starting from the independent set
 // initial, it fires 2-3 swap skeletons (two IS vertices exchanged for three
 // or more non-IS vertices) in addition to every 1-k swap, using the SC
-// swap-candidate store. Rounds are three sequential scans: pre-swap, a
-// validating swap scan, and post-swap. Every scan is a logical pass
-// registered with the scan scheduler: the setup pass fuses with a read-only
-// degree-collection rider, and on the final round — recognizable before its
-// post-swap scan because the swap scan runs first — the maximality sweep
-// rides the post-swap scan as a fused deferred pass.
+// swap-candidate store. A round comprises three logical passes — pre-swap,
+// a validating swap pass, and post-swap — but in steady state only the
+// post-swap pass touches the disk: the setup and post-swap scans maintain
+// states, ISN sets and ISN preimage counts incrementally (complete at end
+// of scan), so the next round's pre-swap and swap-validation work rides
+// them as a cross-round collection (pipeline.Pass.Consumes) and replays
+// from memory, dropping a steady-state round from three physical scans to
+// one. The setup pass additionally fuses with a read-only
+// degree-collection rider, and on the final round — recognizable before
+// its post-swap scan because the swap pass runs first — the maximality
+// sweep rides the post-swap scan as a fused deferred pass. Carry-buffer
+// overflow, a stall exit, and Unfused schedules fall back to the classic
+// dedicated scans.
 //
 // The swap scan validates each promotion against the vertex's in-hand
 // adjacency list and rolls back a whole skeleton group if two passengers
@@ -82,6 +101,9 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 		groupOf:  make([]int32, n),
 		groupOf2: make([]int32, n),
 	}
+	if !opts.Unfused {
+		st.carry = newCarryCollector(st.states, true)
+	}
 	size := 0
 	for v, in := range initial {
 		if in {
@@ -98,6 +120,7 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	setup := opts.scheduler(f)
 	setup.Add(pipeline.Pass{
 		Name:           "two-k-setup",
+		Produces:       twoKProduct,
 		MutatesStates:  true,
 		NeedsScanOrder: true,
 		Batch: func(batch []gio.Record) error {
@@ -147,6 +170,9 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 			return nil
 		},
 	})
+	if st.carry != nil {
+		setup.Add(st.carry.pass("two-k-pre-swap-carry", twoKProduct))
+	}
 	if err := setup.Run(); err != nil {
 		return nil, err
 	}
@@ -159,10 +185,12 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
 			break
 		}
+		roundSnap := snapshot(f.Stats())
 		canSwap, err := st.round(f, opts, round+1, opts.lastByBudget(round), sw)
 		if err != nil {
 			return nil, err
 		}
+		res.RoundIO = append(res.RoundIO, statsDelta(f.Stats(), roundSnap))
 		res.Rounds++
 		newSize := st.states.CountIS()
 		res.RoundGains = append(res.RoundGains, newSize-size)
@@ -189,16 +217,23 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	res.SCHighWater = st.scPeak
 	res.MemoryBytes = st.states.MemoryBytes() + st.isn.MemoryBytes() +
 		st.sc.MemoryBytes() + uint64(n)*4 /* deg */ + uint64(n)*8 /* groups */ +
-		sw.peak
+		sw.buf.MemoryPeak()
+	if st.carry != nil {
+		res.MemoryBytes += st.carry.memoryBytes()
+	}
 	res.IO = statsDelta(f.Stats(), snap)
 	return res, nil
 }
 
-// round executes pre-swap, swap (validating) and post-swap scans, reporting
-// whether any swap fired. lastByBudget marks a round whose post-swap scan is
-// known to be the run's last regardless of swap progress; the no-swap signal
-// from the swap scan is the other way a final post-swap scan is recognized,
-// and in either case the maximality sweep fuses into it.
+// round executes the pre-swap, swap (validating) and post-swap passes,
+// reporting whether any swap fired. When the previous scan carried the
+// cross-round collection, the pre-swap and validating swap passes replay
+// from memory and only the post-swap pass pays a physical scan; otherwise
+// each runs as its classic dedicated scan. lastByBudget marks a round whose
+// post-swap scan is known to be the run's last regardless of swap progress;
+// the no-swap signal from the swap pass is the other way a final post-swap
+// scan is recognized, and in either case the maximality sweep fuses into it
+// — a non-final post-swap scan instead carries the next round's collection.
 func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget bool, sw *sweeper) (bool, error) {
 	st.groups = st.groups[:0]
 	for i := range st.groupOf {
@@ -210,17 +245,34 @@ func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget b
 	clear(st.seenOne)
 	st.seenCount = 0
 
-	pre := opts.scheduler(f)
-	pre.Add(st.preSwapPass())
-	if err := pre.Run(); err != nil {
-		return false, fmt.Errorf("core: two-k-swap: pre-swap: %w", err)
-	}
-	opts.tracePhase(round, "pre-swap", st.states)
+	if st.carry != nil && st.carry.ready() {
+		// Replay both carried passes against the completed product of the
+		// previous scan: pre-swap over the buffered A records, then the
+		// validating swap pass over the resulting P vertices (from the same
+		// buffer) interleaved with the R vertices in exact scan order.
+		pipeline.ResolveCarried(f)
+		nbrSet := make(map[uint32]struct{})
+		st.carry.forEach(func(u uint32, neighbors []uint32) {
+			st.preSwapRecord(u, neighbors, nbrSet)
+		})
+		opts.tracePhase(round, "pre-swap", st.states)
 
-	swap := opts.scheduler(f)
-	swap.Add(st.swapPass())
-	if err := swap.Run(); err != nil {
-		return false, fmt.Errorf("core: two-k-swap: swap: %w", err)
+		pipeline.ResolveCarried(f)
+		st.replaySwap()
+		st.carry.reset()
+	} else {
+		pre := opts.scheduler(f)
+		pre.Add(st.preSwapPass())
+		if err := pre.Run(); err != nil {
+			return false, fmt.Errorf("core: two-k-swap: pre-swap: %w", err)
+		}
+		opts.tracePhase(round, "pre-swap", st.states)
+
+		swap := opts.scheduler(f)
+		swap.Add(st.swapPass())
+		if err := swap.Run(); err != nil {
+			return false, fmt.Errorf("core: two-k-swap: swap: %w", err)
+		}
 	}
 	canSwap := st.canSwap
 	opts.tracePhase(round, "swap", st.states)
@@ -228,8 +280,11 @@ func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget b
 	post := opts.scheduler(f)
 	postPass := postSwapPass(st.states, st.isn, true)
 	post.Add(postPass)
-	if !canSwap || lastByBudget {
+	switch {
+	case !canSwap || lastByBudget:
 		post.Add(sw.pass(postPass.Name))
+	case st.carry != nil:
+		post.Add(st.carry.pass("two-k-pre-swap-carry", postPass.Produces))
 	}
 	if err := post.Run(); err != nil {
 		return false, fmt.Errorf("core: two-k-swap: post-swap: %w", err)
@@ -239,7 +294,7 @@ func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget b
 }
 
 // preSwapPass builds Algorithm 4 — run for every A vertex in scan order —
-// as a logical pass.
+// as a logical pass, the classic dedicated-scan form of preSwapRecord.
 func (st *twoKState) preSwapPass() pipeline.Pass {
 	nbrSet := make(map[uint32]struct{})
 	return pipeline.Pass{
@@ -247,79 +302,85 @@ func (st *twoKState) preSwapPass() pipeline.Pass {
 		MutatesStates:  true,
 		NeedsScanOrder: true,
 		Batch: func(batch []gio.Record) error {
-		records:
 			for i := range batch {
-				r := &batch[i]
-				u := r.ID
-				if st.states.Get(u) != semiext.StateAdjacent {
-					continue
-				}
-				// Conflict (Algorithm 4 lines 3–4): a neighbor already holds P.
-				for _, nb := range r.Neighbors {
-					if st.states.Get(nb) == semiext.StateProtected {
-						st.states.Set(u, semiext.StateConflict)
-						st.isn.Clear(u)
-						continue records
-					}
-				}
-
-				w1, w2, cnt := st.isn.Get(u)
-				switch cnt {
-				case 2:
-					s1, s2 := st.states.Get(w1), st.states.Get(w2)
-					switch {
-					case s1 == semiext.StateIS && s2 == semiext.StateIS:
-						clear(nbrSet)
-						for _, nb := range r.Neighbors {
-							nbrSet[nb] = struct{}{}
-						}
-						if st.fireSkeleton(u, w1, w2, r.Neighbors, nbrSet) {
-							continue records
-						}
-						st.addCandidatePair(u, w1, w2, nbrSet)
-					case s1 == semiext.StateRetrograde && s2 == semiext.StateRetrograde:
-						// Algorithm 4 lines 11–12 generalized: all of u's IS
-						// neighbors are leaving, so u joins. It may straddle two
-						// different groups.
-						st.promote(u, r.Neighbors)
-						st.join(u, w1)
-						st.join(u, w2)
-					}
-					// One I, one R: u's remaining IS neighbor keeps it out.
-				case 1:
-					switch st.states.Get(w1) {
-					case semiext.StateIS:
-						// 1-2 swap skeleton via the witness counter (lines 9–10).
-						x := uint32(0)
-						for _, nb := range r.Neighbors {
-							if st.states.Get(nb) == semiext.StateAdjacent && st.isn.Has(nb, w1) {
-								if _, _, c := st.isn.Get(nb); c == 1 {
-									x++
-								}
-							}
-						}
-						if st.isn.PreimageCount(w1) >= x+2 {
-							st.promote(u, r.Neighbors)
-							st.states.Set(w1, semiext.StateRetrograde)
-							gi := st.newGroup(w1)
-							st.groupOf[w1] = gi
-							st.groupOf[u] = gi
-						} else {
-							// Singleton-ISN vertices feed the partner index but are
-							// not SC-set members (Definition 2 requires a two-IS
-							// neighborhood), so they do not count toward the SC
-							// high-water mark.
-							st.seenOne[w1] = append(st.seenOne[w1], u)
-						}
-					case semiext.StateRetrograde:
-						// Join an already-fired swap (lines 11–12).
-						st.promote(u, r.Neighbors)
-						st.join(u, w1)
-					}
-				}
+				st.preSwapRecord(batch[i].ID, batch[i].Neighbors, nbrSet)
 			}
 			return nil
 		},
+	}
+}
+
+// preSwapRecord runs Algorithm 4 for one record. It is shared between the
+// classic dedicated pre-swap scan and the cross-round replay, which both
+// invoke it for every A vertex in scan order against the same completed
+// post-swap state, making the two paths bit-identical. nbrSet is scratch
+// storage reused across records.
+func (st *twoKState) preSwapRecord(u uint32, neighbors []uint32, nbrSet map[uint32]struct{}) {
+	if st.states.Get(u) != semiext.StateAdjacent {
+		return
+	}
+	// Conflict (Algorithm 4 lines 3–4): a neighbor already holds P.
+	for _, nb := range neighbors {
+		if st.states.Get(nb) == semiext.StateProtected {
+			st.states.Set(u, semiext.StateConflict)
+			st.isn.Clear(u)
+			return
+		}
+	}
+
+	w1, w2, cnt := st.isn.Get(u)
+	switch cnt {
+	case 2:
+		s1, s2 := st.states.Get(w1), st.states.Get(w2)
+		switch {
+		case s1 == semiext.StateIS && s2 == semiext.StateIS:
+			clear(nbrSet)
+			for _, nb := range neighbors {
+				nbrSet[nb] = struct{}{}
+			}
+			if st.fireSkeleton(u, w1, w2, neighbors, nbrSet) {
+				return
+			}
+			st.addCandidatePair(u, w1, w2, nbrSet)
+		case s1 == semiext.StateRetrograde && s2 == semiext.StateRetrograde:
+			// Algorithm 4 lines 11–12 generalized: all of u's IS
+			// neighbors are leaving, so u joins. It may straddle two
+			// different groups.
+			st.promote(u, neighbors)
+			st.join(u, w1)
+			st.join(u, w2)
+		}
+		// One I, one R: u's remaining IS neighbor keeps it out.
+	case 1:
+		switch st.states.Get(w1) {
+		case semiext.StateIS:
+			// 1-2 swap skeleton via the witness counter (lines 9–10).
+			x := uint32(0)
+			for _, nb := range neighbors {
+				if st.states.Get(nb) == semiext.StateAdjacent && st.isn.Has(nb, w1) {
+					if _, _, c := st.isn.Get(nb); c == 1 {
+						x++
+					}
+				}
+			}
+			if st.isn.PreimageCount(w1) >= x+2 {
+				st.promote(u, neighbors)
+				st.states.Set(w1, semiext.StateRetrograde)
+				gi := st.newGroup(w1)
+				st.groupOf[w1] = gi
+				st.groupOf[u] = gi
+			} else {
+				// Singleton-ISN vertices feed the partner index but are
+				// not SC-set members (Definition 2 requires a two-IS
+				// neighborhood), so they do not count toward the SC
+				// high-water mark.
+				st.seenOne[w1] = append(st.seenOne[w1], u)
+			}
+		case semiext.StateRetrograde:
+			// Join an already-fired swap (lines 11–12).
+			st.promote(u, neighbors)
+			st.join(u, w1)
+		}
 	}
 }
 
@@ -441,8 +502,10 @@ func (st *twoKState) join(u, w uint32) {
 	gi := st.groupOf[w]
 	if gi < 0 {
 		// w left the set without a registered group (defensive; should not
-		// happen). Give u a singleton group so validation still covers it.
-		gi = st.newGroup()
+		// happen). Register w in a fresh group so validation still covers
+		// both u and w — the swap replay discovers R vertices through the
+		// groups' ws lists, so w must appear there.
+		gi = st.newGroup(w)
 		st.groupOf[w] = gi
 	}
 	if st.groupOf[u] < 0 {
@@ -469,40 +532,93 @@ func (st *twoKState) swapPass() pipeline.Pass {
 		MutatesStates:  true,
 		NeedsScanOrder: true,
 		Batch: func(batch []gio.Record) error {
-		records:
 			for i := range batch {
 				r := &batch[i]
-				u := r.ID
-				switch st.states.Get(u) {
+				switch st.states.Get(r.ID) {
 				case semiext.StateProtected:
-					if st.groupFailed(u) {
-						st.states.Set(u, semiext.StateConflict)
-						continue
-					}
-					for _, nb := range r.Neighbors {
-						if st.states.Get(nb) == semiext.StateIS {
-							// Cross-group passenger collision: nb was promoted
-							// earlier in this scan next to u. Demote u and roll its
-							// group(s) back.
-							st.states.Set(u, semiext.StateConflict)
-							st.fail(st.groupOf[u])
-							st.fail(st.groupOf2[u])
-							continue records
-						}
-					}
-					st.states.Set(u, semiext.StateIS)
-					st.confirm(u)
+					st.swapValidateP(r.ID, r.Neighbors)
 				case semiext.StateRetrograde:
-					if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
-						st.states.Set(u, semiext.StateIS) // reinstated
-					} else {
-						st.states.Set(u, semiext.StateNonIS)
-						st.canSwap = true
-					}
+					st.swapValidateR(r.ID)
 				}
 			}
 			return nil
 		},
+	}
+}
+
+// swapValidateP confirms or demotes one P vertex: it joins the set unless
+// its group already failed or an IS neighbor shows a cross-group passenger
+// collision, in which case its group(s) roll back. Shared between the
+// dedicated swap scan and the cross-round replay.
+func (st *twoKState) swapValidateP(u uint32, neighbors []uint32) {
+	if st.groupFailed(u) {
+		st.states.Set(u, semiext.StateConflict)
+		return
+	}
+	for _, nb := range neighbors {
+		if st.states.Get(nb) == semiext.StateIS {
+			// Cross-group passenger collision: nb was promoted earlier in
+			// this scan next to u. Demote u and roll its group(s) back.
+			st.states.Set(u, semiext.StateConflict)
+			st.fail(st.groupOf[u])
+			st.fail(st.groupOf2[u])
+			return
+		}
+	}
+	st.states.Set(u, semiext.StateIS)
+	st.confirm(u)
+}
+
+// swapValidateR resolves one R vertex: reinstated if its group failed,
+// otherwise it leaves the set and the round counts as having swapped.
+func (st *twoKState) swapValidateR(u uint32) {
+	if gi := st.groupOf[u]; gi >= 0 && st.groups[gi].failed {
+		st.states.Set(u, semiext.StateIS) // reinstated
+	} else {
+		st.states.Set(u, semiext.StateNonIS)
+		st.canSwap = true
+	}
+}
+
+// replaySwap runs the validating swap pass from the cross-round carry
+// instead of a dedicated scan. Every P vertex was an A vertex when the
+// carry was collected, so its adjacency list is in the buffer; the R
+// vertices (IS vertices demoted by the pre-swap replay, registered in their
+// swap groups) carry no adjacency reads but their position in the scan
+// matters — a group's failure mid-scan decides whether a later-scanned R
+// leaves or is reinstated, and whether its departure counts toward canSwap
+// — so they are interleaved with the buffered records in exact scan order
+// via the collector's scan-position table.
+func (st *twoKState) replaySwap() {
+	st.canSwap = false
+	c := st.carry
+	type rv struct{ pos, v uint32 }
+	var rs []rv
+	for _, g := range st.groups {
+		for _, w := range g.ws {
+			if st.states.Get(w) == semiext.StateRetrograde {
+				rs = append(rs, rv{c.scanPos[w], w})
+			}
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].pos < rs[j].pos })
+
+	ri := 0
+	for i := 0; i < c.buf.Len(); i++ {
+		for ri < len(rs) && rs[ri].pos < c.buf.Pos(i) {
+			if st.states.Get(rs[ri].v) == semiext.StateRetrograde {
+				st.swapValidateR(rs[ri].v)
+			}
+			ri++
+		}
+		if u := c.buf.ID(i); st.states.Get(u) == semiext.StateProtected {
+			st.swapValidateP(u, c.buf.Neighbors(i))
+		}
+	}
+	for ; ri < len(rs); ri++ {
+		if st.states.Get(rs[ri].v) == semiext.StateRetrograde {
+			st.swapValidateR(rs[ri].v)
+		}
 	}
 }
 

@@ -17,6 +17,13 @@ type Stats struct {
 	// scan count of the paper's I/O cost model, and the number fusion
 	// actually reduces. Without fusion, PhysicalScans == Scans.
 	PhysicalScans int
+	// CarriedScans counts the logical scans that were satisfied entirely
+	// from state carried across swap rounds (the pipeline's cross-round
+	// Produces/Consumes fusion): the pass's records were collected while
+	// riding an earlier round's physical scan and resolved from memory, so
+	// no physical pass was paid. Always ≤ Scans; each carried scan is one
+	// physical scan the classic round structure would have spent.
+	CarriedScans  int
 	RecordsRead   uint64 // vertex records decoded
 	BytesRead     uint64
 	BytesWritten  uint64
@@ -28,6 +35,7 @@ type Stats struct {
 func (s *Stats) Add(other Stats) {
 	s.Scans += other.Scans
 	s.PhysicalScans += other.PhysicalScans
+	s.CarriedScans += other.CarriedScans
 	s.RecordsRead += other.RecordsRead
 	s.BytesRead += other.BytesRead
 	s.BytesWritten += other.BytesWritten
@@ -37,8 +45,8 @@ func (s *Stats) Add(other Stats) {
 
 // String formats the counters compactly.
 func (s *Stats) String() string {
-	return fmt.Sprintf("scans=%d physical=%d records=%d read=%s written=%s blocks(r/w)=%d/%d",
-		s.Scans, s.PhysicalScans, s.RecordsRead, FormatBytes(s.BytesRead), FormatBytes(s.BytesWritten),
+	return fmt.Sprintf("scans=%d physical=%d carried=%d records=%d read=%s written=%s blocks(r/w)=%d/%d",
+		s.Scans, s.PhysicalScans, s.CarriedScans, s.RecordsRead, FormatBytes(s.BytesRead), FormatBytes(s.BytesWritten),
 		s.BlocksRead, s.BlocksWritten)
 }
 

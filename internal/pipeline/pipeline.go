@@ -105,6 +105,31 @@ type Pass struct {
 	// mutations against the named pass's reads.
 	FuseAfter string
 
+	// Produces names a cross-round state product: shared state this pass
+	// mutates during its scan that is complete — every vertex's entry final
+	// — once the scan ends. A later-declared pass naming it in Consumes may
+	// join this pass's physical scan. The swap algorithms' setup and
+	// post-swap passes are the canonical producers (states, ISN sets and ISN
+	// preimage counts, all complete at end of scan).
+	Produces string
+
+	// Consumes names a product of a co-scheduled pass that this pass's
+	// deferred resolution will read. Declaring it is the cross-round fusion
+	// edge: this pass belongs logically to the NEXT round, but its Batch
+	// rides the producer's physical scan, collecting into pass-private
+	// buffers only, and every decision against the product is made after the
+	// scan — when the product is complete — via an explicit resolve step in
+	// the owning algorithm. The planner therefore admits it into the
+	// producer's scan despite the producer's in-scan mutations, and treats it
+	// as a deferred writer toward later passes (its resolution mutates shared
+	// state after the scan, so a later shared-state pass fused behind it
+	// would observe pre-resolve state). A Consumes pass does not count a
+	// logical scan when it rides; the resolve step accounts it via
+	// ResolveCarried. Like FuseAfter, the exemption never licenses the
+	// consumer's own in-scan mutations: a consumer declaring MutatesStates
+	// forfeits it.
+	Consumes string
+
 	// Batch is invoked for every decoded batch in scan order. Within a fused
 	// physical scan, batch callbacks run in declaration order on each batch.
 	// A non-nil error aborts the physical scan and the whole run.
@@ -123,6 +148,13 @@ type Pass struct {
 // contradiction conservatively, as a mutator.
 func (p Pass) inert() bool { return p.ReadOnly && !p.MutatesStates }
 
+// deferredWriter reports whether the pass mutates shared state after its
+// scan rather than during it: declared via DeferredWrites (Done-hook
+// writers like the maximality sweep) or implied by Consumes (a carried pass
+// resolves against the completed product after the scan). Either way, a
+// later shared-state pass must not join its scan.
+func (p Pass) deferredWriter() bool { return p.DeferredWrites || p.Consumes != "" }
+
 // Fusable reports whether two passes, with a declared before b, may share
 // one physical scan under the conservative flag rule alone (FuseAfter
 // exemptions are handled by the planner, not here):
@@ -138,7 +170,7 @@ func (p Pass) inert() bool { return p.ReadOnly && !p.MutatesStates }
 // one pass observe the other's partial, batch-interleaved writes, which a
 // separate scan would never show it.
 func Fusable(a, b Pass) bool {
-	if a.DeferredWrites && !b.inert() {
+	if a.deferredWriter() && !b.inert() {
 		return false
 	}
 	if a.inert() || b.inert() {
@@ -200,14 +232,23 @@ func PlanFusion(passes []Pass, unfused bool) [][]Pass {
 }
 
 // joinable reports whether p may join the group: p must be fusable with
-// every member, where the FuseAfter exemption covers exactly the named
-// member (which, being already in the group, precedes p). The exemption is
-// one-directional — it waives only the named member's writes as observed by
-// p, which is what p's author vouched for; p's own in-scan mutations
-// disturbing that member's reads are never waived.
+// every member, where two exemptions cover specific members that precede p
+// in the group:
+//
+//   - FuseAfter names a member whose in-scan and deferred mutations p was
+//     constructed to tolerate;
+//   - Consumes matches a member's Produces — the cross-round edge: p only
+//     collects during the scan and resolves against the member's product
+//     after it, when the product is complete.
+//
+// Both exemptions are one-directional — they waive only the named member's
+// writes as observed by p, which is what p's author vouched for; p's own
+// in-scan mutations disturbing that member's reads are never waived.
 func joinable(group []Pass, p Pass) bool {
 	for _, m := range group {
-		if p.FuseAfter != "" && p.FuseAfter == m.Name {
+		exempt := (p.FuseAfter != "" && p.FuseAfter == m.Name) ||
+			(p.Consumes != "" && p.Consumes == m.Produces)
+		if exempt {
 			if p.MutatesStates && !m.inert() {
 				return false
 			}
@@ -264,11 +305,14 @@ func (s *Scheduler) runGroup(group []Pass) error {
 		return err
 	}
 	// The engine counted a completed physical scan as one logical scan; the
-	// other fused passes each logically scanned the file too. A scan every
-	// pass cut short is not a completed scan and counted nothing — exactly
-	// like a consumer abandoning a plain ForEachBatch mid-file.
+	// other fused passes each logically scanned the file too — except
+	// carried (Consumes) passes riding their producer's scan, whose logical
+	// scan belongs to the round that resolves them and is counted then, by
+	// ResolveCarried. A scan every pass cut short is not a completed scan
+	// and counted nothing — exactly like a consumer abandoning a plain
+	// ForEachBatch mid-file.
 	if st := s.src.Stats(); st != nil && err == nil {
-		st.Scans += len(group) - 1
+		st.Scans += len(group) - 1 - carriedInGroup(group)
 	}
 	for i := range group {
 		if group[i].Done != nil {
@@ -280,6 +324,38 @@ func (s *Scheduler) runGroup(group []Pass) error {
 		}
 	}
 	return nil
+}
+
+// carriedInGroup counts the group's carried passes: Consumes passes riding
+// a co-scheduled producer of their product. A Consumes pass stranded in a
+// group without its producer (the planner split them apart) ran as an
+// ordinary pass of this round and is accounted normally.
+func carriedInGroup(group []Pass) int {
+	carried := 0
+	for i, p := range group {
+		if p.Consumes == "" {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if group[j].Produces == p.Consumes {
+				carried++
+				break
+			}
+		}
+	}
+	return carried
+}
+
+// ResolveCarried accounts the deferred resolution of a carried (Consumes)
+// pass: the logical scan it represents is counted at the moment the owning
+// algorithm replays the collected records against the completed product,
+// alongside the CarriedScans counter that makes the cross-round fusion
+// observable. No physical scan is involved — that is the point.
+func ResolveCarried(src Source) {
+	if st := src.Stats(); st != nil {
+		st.Scans++
+		st.CarriedScans++
+	}
 }
 
 // scan runs one physical scan, preferring the source's plan-capturing

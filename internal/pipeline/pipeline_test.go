@@ -123,6 +123,37 @@ func TestIncompatiblePassesSplit(t *testing.T) {
 		{"deferred-writer-then-reader", []Pass{{Name: "dw", DeferredWrites: true}, rd2}, 2},
 		{"fused-deferred-writer-then-reader", []Pass{mut, {Name: "dw", DeferredWrites: true, FuseAfter: "mut"}, rd2}, 2},
 		{"deferred-writer-then-ro", []Pass{{Name: "dw", DeferredWrites: true}, ro}, 1},
+		// The cross-round edge: a Consumes pass joins the scan of the pass
+		// producing its product, despite the producer's mutations.
+		{"carried-joins-producer", []Pass{
+			{Name: "post", MutatesStates: true, Produces: "states"},
+			{Name: "carry", Consumes: "states"},
+		}, 1},
+		// Without a matching producer in the group, a consumer gets no
+		// exemption against a mutator.
+		{"carried-wrong-product", []Pass{
+			{Name: "post", MutatesStates: true, Produces: "states"},
+			{Name: "carry", Consumes: "other"},
+		}, 2},
+		// A consumer that itself mutates shared state forfeits the
+		// exemption — its in-scan writes were never vouched for.
+		{"carried-mutator-forfeits", []Pass{
+			{Name: "post", MutatesStates: true, Produces: "states"},
+			{Name: "carry", MutatesStates: true, Consumes: "states"},
+		}, 2},
+		// A consumer is a deferred writer toward later passes: its resolve
+		// mutates shared state after the scan, so a later shared-state pass
+		// fused behind it would observe pre-resolve state.
+		{"carried-closes-group", []Pass{
+			{Name: "post", MutatesStates: true, Produces: "states"},
+			{Name: "carry", Consumes: "states"},
+			rd1,
+		}, 2},
+		{"carried-then-ro", []Pass{
+			{Name: "post", MutatesStates: true, Produces: "states"},
+			{Name: "carry", Consumes: "states"},
+			ro,
+		}, 1},
 	} {
 		groups := PlanFusion(tc.passes, false)
 		if len(groups) != tc.want {
@@ -135,6 +166,47 @@ func TestIncompatiblePassesSplit(t *testing.T) {
 		if total != len(tc.passes) {
 			t.Errorf("%s: plan dropped or duplicated passes: %d of %d", tc.name, total, len(tc.passes))
 		}
+	}
+}
+
+// TestCarriedAccounting drives the cross-round edge end to end: the carried
+// pass rides its producer's physical scan without counting a logical scan
+// of its own, sees every record after the producer's callback, and its
+// logical scan is accounted only when ResolveCarried runs — as a carried,
+// physical-scan-free resolution.
+func TestCarriedAccounting(t *testing.T) {
+	const n = 500
+	path := writeTestFile(t, n)
+	f, stats := open(t, path)
+
+	collected := 0
+	s := New(f, Options{})
+	s.Add(Pass{
+		Name:          "post",
+		Produces:      "states",
+		MutatesStates: true,
+		Batch:         func(batch []gio.Record) error { return nil },
+	})
+	s.Add(Pass{
+		Name:           "carry",
+		Consumes:       "states",
+		DeferredWrites: true,
+		Batch:          func(batch []gio.Record) error { collected += len(batch); return nil },
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if collected != n {
+		t.Fatalf("carried pass collected %d of %d records", collected, n)
+	}
+	// The scan counts once logically (the producer), once physically; the
+	// carried pass has not been accounted yet.
+	if stats.Scans != 1 || stats.PhysicalScans != 1 || stats.CarriedScans != 0 {
+		t.Fatalf("after collection: %+v, want scans=1 physical=1 carried=0", *stats)
+	}
+	ResolveCarried(f)
+	if stats.Scans != 2 || stats.PhysicalScans != 1 || stats.CarriedScans != 1 {
+		t.Fatalf("after resolve: %+v, want scans=2 physical=1 carried=1", *stats)
 	}
 }
 
@@ -253,14 +325,20 @@ func TestSchedulerCapturesPlan(t *testing.T) {
 }
 
 // FuzzPlanFusion feeds the planner random pass sets with random access
-// flags and independently re-checks every planned group: no group may pair a
+// flags — including the cross-round Produces/Consumes edges — and
+// independently re-checks every planned group: no group may pair a
 // shared-state mutator with any other shared-state-touching pass unless the
-// latter declared the former in FuseAfter; order and pass multiset must be
-// preserved; unfused plans must be singletons.
+// latter declared the former in FuseAfter or consumes its product; a
+// consumer (like a declared deferred writer) closes its group to later
+// shared-state passes; order and pass multiset must be preserved; unfused
+// plans must be singletons.
 func FuzzPlanFusion(f *testing.F) {
 	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04}, false)
 	f.Add([]byte{0x13, 0x05, 0x22, 0x01}, true)
 	f.Add([]byte{0xff, 0xfe, 0x80, 0x41, 0x07, 0x09}, false)
+	// A producer followed by its consumer, and a consumer of a product
+	// nobody in the group produces.
+	f.Add([]byte{0x22, 0x40, 0x60, 0xc0}, false)
 	f.Fuzz(func(t *testing.T, raw []byte, unfused bool) {
 		if len(raw) > 64 {
 			raw = raw[:64]
@@ -280,13 +358,24 @@ func FuzzPlanFusion(f *testing.F) {
 			if b&8 != 0 {
 				passes[i].FuseAfter = fmt.Sprintf("p%d", int(b>>4))
 			}
+			// Cross-round edges from the top bits: two product names, so
+			// matching and mismatching producer/consumer chains, duplicate
+			// producers and stranded consumers all occur.
+			if b&32 != 0 {
+				passes[i].Produces = fmt.Sprintf("prod%d", int(b>>6)&1)
+			}
+			if b&64 != 0 {
+				passes[i].Consumes = fmt.Sprintf("prod%d", int(b>>7)&1)
+			}
 		}
 		groups := PlanFusion(passes, unfused)
 
 		// Re-derive the safety predicate from scratch (not via Fusable). A
 		// pass with contradictory flags (ReadOnly and MutatesStates) must be
-		// handled as a mutator that also touches shared state.
+		// handled as a mutator that also touches shared state; a consumer is
+		// a deferred writer whether or not it also declared it.
 		touches := func(p Pass) bool { return !p.ReadOnly || p.MutatesStates }
+		defers := func(p Pass) bool { return p.DeferredWrites || p.Consumes != "" }
 		idx := 0
 		for _, g := range groups {
 			if unfused && len(g) != 1 {
@@ -299,17 +388,18 @@ func FuzzPlanFusion(f *testing.F) {
 				idx++
 				for j := 0; j < i; j++ {
 					q := g[j] // q precedes p in the shared scan
-					exempt := p.FuseAfter != "" && p.FuseAfter == q.Name
+					exempt := (p.FuseAfter != "" && p.FuseAfter == q.Name) ||
+						(p.Consumes != "" && p.Consumes == q.Produces)
 					if exempt {
-						// FuseAfter waives q's in-scan and deferred writes
+						// An exemption waives q's in-scan and deferred writes
 						// as observed by p — but never p's own mutations
 						// against q's reads.
 						if p.MutatesStates && touches(q) {
-							t.Fatalf("FuseAfter let mutator %s into reader %s's scan", p.Name, q.Name)
+							t.Fatalf("exemption let mutator %s into reader %s's scan", p.Name, q.Name)
 						}
 						continue
 					}
-					if q.DeferredWrites && touches(p) {
+					if defers(q) && touches(p) {
 						t.Fatalf("fused deferred writer %s with later shared-state pass %s", q.Name, p.Name)
 					}
 					if q.MutatesStates && touches(p) {

@@ -133,11 +133,24 @@ func fromCore(r *core.Result) *Result {
 		Size:        r.Size,
 		Rounds:      r.Rounds,
 		RoundGains:  append([]int(nil), r.RoundGains...),
+		RoundIO:     roundIO(r.RoundIO),
 		MemoryBytes: r.MemoryBytes,
 		SCHighWater: r.SCHighWater,
 		Degrees:     DegreeStats(r.Degrees),
 		IO:          IOStats(r.IO),
 	}
+}
+
+// roundIO converts the per-round I/O deltas.
+func roundIO(rounds []gio.Stats) []IOStats {
+	if len(rounds) == 0 {
+		return nil
+	}
+	out := make([]IOStats, len(rounds))
+	for i, r := range rounds {
+		out[i] = IOStats(r)
+	}
+	return out
 }
 
 // loadWhole reads the entire file into memory for the in-memory baseline.

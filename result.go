@@ -13,6 +13,11 @@ type Result struct {
 	// RoundGains lists the net new IS vertices per round (Table 8's
 	// early-stop measurements).
 	RoundGains []int
+	// RoundIO is the I/O each swap round performed, aligned with
+	// RoundGains. With cross-round pass fusion a steady-state round shows
+	// one physical scan plus carried logical scans. Empty for non-swap
+	// algorithms.
+	RoundIO []IOStats
 	// MemoryBytes is the high-water in-memory footprint of the algorithm's
 	// auxiliary structures.
 	MemoryBytes uint64
@@ -75,6 +80,11 @@ func (r *Result) String() string {
 type IOStats struct {
 	Scans         int
 	PhysicalScans int
+	// CarriedScans counts logical scans satisfied from state carried across
+	// swap rounds (cross-round pass fusion) — collected while riding an
+	// earlier round's physical scan and resolved from memory, each one a
+	// physical scan the classic round structure would have paid.
+	CarriedScans  int
 	RecordsRead   uint64
 	BytesRead     uint64
 	BytesWritten  uint64
