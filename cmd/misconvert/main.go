@@ -55,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var stats gio.Stats
+	var stats gio.Counters
 	fail := func(err error) int {
 		fmt.Fprintf(stderr, "misconvert: %v\n", err)
 		return 1

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -43,7 +44,7 @@ func TestGolden(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			if code := run(tc.args, &stdout, &stderr); code != 0 {
+			if code := run(context.Background(), tc.args, &stdout, &stderr); code != 0 {
 				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 			}
 			got := timeRe.ReplaceAll(stdout.Bytes(), []byte("time = X"))

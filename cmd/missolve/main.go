@@ -6,29 +6,42 @@
 //	missolve -alg two-k-swap graph.adj
 //	missolve -alg greedy -verify -bound graph.adj
 //	missolve -alg randomized -seed 7 graph.adj
+//	missolve -timeout 30s -alg two-k-swap huge.adj
 //	missolve -color graph.adj
 //
 // Algorithms: greedy, baseline, one-k-swap, two-k-swap, dynamic-update,
 // external-maximal, randomized. Swap algorithms are seeded with a Greedy
 // pass. -bound additionally computes the Algorithm 5 upper bound and the
 // approximation ratio; -color runs the iterated-IS graph coloring instead.
+//
+// Long runs are interruptible: -timeout bounds the whole run, and a SIGINT
+// (Ctrl-C) or SIGTERM cancels it gracefully. Either way missolve stops
+// within one decoded batch of the current scan, reports where the scan
+// stood, prints the partial I/O statistics accumulated so far, and exits
+// with status 1 — no result is fabricated.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	mis "repro"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("missolve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -40,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		earlyStop = fs.Int("early-stop", 0, "stop swaps after this many rounds (0 = off)")
 		seed      = fs.Int64("seed", 1, "seed for the randomized algorithm")
 		workers   = fs.Int("workers", 1, "goroutines decoding file partitions concurrently during scans (0 = GOMAXPROCS); results are identical for any value")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial stats are reported")
+		progress  = fs.Bool("progress", false, "print each swap round as it completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,6 +64,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 		return 2
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	f, err := mis.Open(fs.Arg(0), mis.WithWorkers(*workers))
 	if err != nil {
@@ -57,39 +77,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer f.Close()
 
+	// fail reports an error; an interrupted run (canceled, deadline) also
+	// prints the partial I/O statistics the run accumulated before stopping.
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "missolve: %v\n", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			st := f.Stats()
+			fmt.Fprintf(stdout, "interrupted: partial stats: scans=%d (physical %d, carried %d) records=%d read=%s\n",
+				st.Scans, st.PhysicalScans, st.CarriedScans, st.RecordsRead, formatBytes(st.BytesRead))
+		}
+		return 1
+	}
+
 	fmt.Fprintf(stdout, "graph: %d vertices, %d edges, avg degree %.2f, degree-sorted=%v\n",
 		f.NumVertices(), f.NumEdges(), f.AvgDegree(), f.DegreeSorted())
 
+	sopts := []mis.SolverOption{mis.MaxRounds(*maxRounds), mis.EarlyStop(*earlyStop), mis.Workers(*workers)}
+	if *progress {
+		sopts = append(sopts, mis.OnRound(func(ev mis.RoundEvent) {
+			fmt.Fprintf(stdout, "round %d: gain %+d, |IS| = %d, scans=%d (physical %d, carried %d)\n",
+				ev.Round, ev.Gain, ev.Size, ev.IO.Scans, ev.IO.PhysicalScans, ev.IO.CarriedScans)
+		}))
+	}
+	solver := mis.NewSolver(f, sopts...)
+
 	if *color {
 		start := time.Now()
-		col, err := f.ColorByIS(0)
+		col, err := solver.ColorByIS(ctx, 0)
 		if err != nil {
-			fmt.Fprintf(stderr, "missolve: %v\n", err)
-			return 1
+			return fail(err)
 		}
 		fmt.Fprintf(stdout, "coloring: %d classes in %v; first classes: %v\n",
 			col.NumColors, time.Since(start).Round(time.Millisecond), head(col.ClassSizes, 8))
 		if *verify {
-			if err := f.VerifyColoring(col); err != nil {
-				fmt.Fprintf(stderr, "missolve: %v\n", err)
-				return 1
+			if err := solver.VerifyColoring(ctx, col); err != nil {
+				return fail(err)
 			}
 			fmt.Fprintln(stdout, "verified: proper coloring")
 		}
 		return 0
 	}
 
-	opts := mis.SwapOptions{MaxRounds: *maxRounds, EarlyStopRounds: *earlyStop}
 	start := time.Now()
 	var r *mis.Result
 	if *alg == "randomized" {
-		r, err = f.RandomizedMaximal(*seed)
+		r, err = solver.RandomizedMaximal(ctx, *seed)
 	} else {
-		r, err = f.Solve(mis.Algorithm(*alg), opts)
+		r, err = solver.Solve(ctx, mis.Algorithm(*alg))
 	}
 	if err != nil {
-		fmt.Fprintf(stderr, "missolve: %v\n", err)
-		return 1
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 
@@ -106,22 +143,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *verify {
 		// Both checks fuse into one physical scan (see mis.File.Verify).
-		if err := f.Verify(r); err != nil {
-			fmt.Fprintf(stderr, "missolve: %v\n", err)
-			return 1
+		if err := solver.Verify(ctx, r); err != nil {
+			return fail(err)
 		}
 		fmt.Fprintln(stdout, "verified: independent and maximal")
 	}
 	if *bound {
-		b, err := f.UpperBound()
+		b, err := solver.UpperBound(ctx)
 		if err != nil {
-			fmt.Fprintf(stderr, "missolve: %v\n", err)
-			return 1
+			return fail(err)
 		}
-		wb, err := f.WeiBound()
+		wb, err := solver.WeiBound(ctx)
 		if err != nil {
-			fmt.Fprintf(stderr, "missolve: %v\n", err)
-			return 1
+			return fail(err)
 		}
 		fmt.Fprintf(stdout, "upper bound (Algorithm 5): %d   ratio: %.4f   Wei lower bound: %.0f\n",
 			b, r.Ratio(b), wb)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -21,12 +22,22 @@ func testGraph(t *testing.T) string {
 
 func TestSolveEveryAlgorithm(t *testing.T) {
 	path := testGraph(t)
+	// The baseline competitor must run on the unsorted input: missolve
+	// refuses it on a degree-sorted file (see mis.ErrBaselineOnSorted).
+	unsortedPath := filepath.Join(t.TempDir(), "unsorted.adj")
+	if err := gio.WriteGraph(unsortedPath, plrg.PowerLawN(2000, 2.0, 3), nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
 	for _, alg := range []string{
 		"greedy", "baseline", "one-k-swap", "two-k-swap",
 		"dynamic-update", "external-maximal", "randomized",
 	} {
+		input := path
+		if alg == "baseline" {
+			input = unsortedPath
+		}
 		var stdout, stderr bytes.Buffer
-		code := run([]string{"-alg", alg, "-verify", "-bound", path}, &stdout, &stderr)
+		code := run(context.Background(), []string{"-alg", alg, "-verify", "-bound", input}, &stdout, &stderr)
 		if code != 0 {
 			t.Fatalf("%s: exit %d, stderr %s", alg, code, stderr.String())
 		}
@@ -41,7 +52,7 @@ func TestSolveEveryAlgorithm(t *testing.T) {
 func TestSolveColoring(t *testing.T) {
 	path := testGraph(t)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-color", "-verify", path}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-color", "-verify", path}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
@@ -53,7 +64,7 @@ func TestSolveColoring(t *testing.T) {
 func TestSolveEarlyStopFlag(t *testing.T) {
 	path := testGraph(t)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-alg", "one-k-swap", "-early-stop", "2", path}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-alg", "one-k-swap", "-early-stop", "2", path}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
@@ -64,14 +75,47 @@ func TestSolveEarlyStopFlag(t *testing.T) {
 
 func TestSolveErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{}, &stdout, &stderr); code != 2 {
 		t.Fatalf("no args: exit %d, want 2", code)
 	}
-	if code := run([]string{"/does/not/exist.adj"}, &stdout, &stderr); code != 1 {
+	if code := run(context.Background(), []string{"/does/not/exist.adj"}, &stdout, &stderr); code != 1 {
 		t.Fatalf("missing file: exit %d, want 1", code)
 	}
 	path := testGraph(t)
-	if code := run([]string{"-alg", "made-up", path}, &stdout, &stderr); code != 1 {
+	if code := run(context.Background(), []string{"-alg", "made-up", path}, &stdout, &stderr); code != 1 {
 		t.Fatalf("bad algorithm: exit %d, want 1", code)
+	}
+}
+
+// TestTimeoutPartialStats: -timeout expiry exits with status 1 and reports
+// the partial I/O statistics instead of a fabricated result.
+func TestTimeoutPartialStats(t *testing.T) {
+	path := testGraph(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-timeout", "1ns", "-alg", "two-k-swap", path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "deadline exceeded") {
+		t.Fatalf("stderr does not name the deadline: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "partial stats") {
+		t.Fatalf("no partial stats on timeout:\n%s", stdout.String())
+	}
+}
+
+// TestSigintCancellation: a canceled parent context (what SIGINT feeds
+// through signal.NotifyContext) ends the run gracefully with partial stats.
+func TestSigintCancellation(t *testing.T) {
+	path := testGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal arrived
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-alg", "greedy", path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "partial stats") {
+		t.Fatalf("no partial stats on cancellation:\n%s", stdout.String())
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func TestGolden(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			if code := run(tc.args, &stdout, &stderr); code != 0 {
+			if code := run(context.Background(), tc.args, &stdout, &stderr); code != 0 {
 				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 			}
 			compareGolden(t, "tiny.golden", stdout.Bytes())
@@ -50,7 +51,7 @@ func TestGoldenRounds(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			if code := run(tc.args, &stdout, &stderr); code != 0 {
+			if code := run(context.Background(), tc.args, &stdout, &stderr); code != 0 {
 				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 			}
 			compareGolden(t, "multiround.golden", stdout.Bytes())
@@ -60,7 +61,7 @@ func TestGoldenRounds(t *testing.T) {
 
 func TestBadFile(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"does-not-exist.adj"}, &stdout, &stderr); code != 1 {
+	if code := run(context.Background(), []string{"does-not-exist.adj"}, &stdout, &stderr); code != 1 {
 		t.Fatalf("exit %d for missing file", code)
 	}
 }

@@ -7,14 +7,21 @@
 //	misstat graph1.adj graph2.adj ...
 //	misstat -workers 4 big.adj     # parallel partitioned histogram scan
 //	misstat -rounds graph.adj      # per-round swap scan breakdown
+//	misstat -timeout 10s big.adj   # bound the scan time
+//
+// Scans are interruptible: -timeout bounds the run and SIGINT/SIGTERM
+// cancel it gracefully within one decoded batch.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -23,25 +30,33 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("misstat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workers := fs.Int("workers", 1, "goroutines decoding file partitions concurrently (0 = GOMAXPROCS)")
 	rounds := fs.Bool("rounds", false, "run the greedy-seeded swap algorithms and print a per-round scan breakdown")
+	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: misstat [-workers n] [-rounds] <graph.adj> ...")
+		fmt.Fprintln(stderr, "usage: misstat [-workers n] [-rounds] [-timeout d] <graph.adj> ...")
 		return 2
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	fmt.Fprintf(stdout, "%-28s %12s %14s %10s %12s %8s\n",
 		"Data Set", "|V|", "|E|", "Avg. Deg", "Disk Size", "Sorted")
 	for _, path := range fs.Args() {
-		if err := report(stdout, path, *workers, *rounds); err != nil {
+		if err := report(ctx, stdout, path, *workers, *rounds); err != nil {
 			fmt.Fprintf(stderr, "misstat: %s: %v\n", path, err)
 			return 1
 		}
@@ -49,8 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func report(w io.Writer, path string, workers int, rounds bool) error {
-	var stats gio.Stats
+func report(ctx context.Context, w io.Writer, path string, workers int, rounds bool) error {
+	var stats gio.Counters
 	f, err := gio.Open(path, 0, &stats)
 	if err != nil {
 		return err
@@ -75,7 +90,7 @@ func report(w io.Writer, path string, workers int, rounds bool) error {
 	// so -workers never pays a dedicated planning pass for this one-shot
 	// workload.
 	hist := map[int]uint64{}
-	sched := pipeline.New(exec.New(f, workers), pipeline.Options{})
+	sched := pipeline.New(exec.New(f, workers), pipeline.Options{Ctx: ctx})
 	sched.Add(pipeline.Pass{
 		Name:     "degree-histogram",
 		ReadOnly: true,
@@ -113,10 +128,11 @@ func report(w io.Writer, path string, workers int, rounds bool) error {
 	fmt.Fprintln(w)
 	// I/O accounting for the report: identical for every -workers value (the
 	// executor reproduces the sequential engine's numbers by construction).
+	snap := stats.Snapshot()
 	fmt.Fprintf(w, "  io: scans=%d physical=%d records=%d\n",
-		stats.Scans, stats.PhysicalScans, stats.RecordsRead)
+		snap.Scans, snap.PhysicalScans, snap.RecordsRead)
 	if rounds {
-		return reportRounds(w, f, workers)
+		return reportRounds(ctx, w, f, workers)
 	}
 	return nil
 }
@@ -126,9 +142,9 @@ func report(w io.Writer, path string, workers int, rounds bool) error {
 // a steady-state round shows exactly one physical scan, its pre-swap (and,
 // for two-k-swap, swap-validation) work appearing as carried logical scans
 // that rode the previous round's pass.
-func reportRounds(w io.Writer, f *gio.File, workers int) error {
+func reportRounds(ctx context.Context, w io.Writer, f *gio.File, workers int) error {
 	src := exec.New(f, workers)
-	seed, err := core.Greedy(src)
+	seed, err := core.GreedyCtx(ctx, src, core.Hooks{})
 	if err != nil {
 		return err
 	}
@@ -137,8 +153,12 @@ func reportRounds(w io.Writer, f *gio.File, workers int) error {
 		run  func() (*core.Result, error)
 	}
 	for _, a := range []alg{
-		{"one-k-swap", func() (*core.Result, error) { return core.OneKSwap(src, seed.InSet, core.SwapOptions{}) }},
-		{"two-k-swap", func() (*core.Result, error) { return core.TwoKSwap(src, seed.InSet, core.SwapOptions{}) }},
+		{"one-k-swap", func() (*core.Result, error) {
+			return core.OneKSwapCtx(ctx, src, seed.InSet, core.SwapOptions{}, core.Hooks{})
+		}},
+		{"two-k-swap", func() (*core.Result, error) {
+			return core.TwoKSwapCtx(ctx, src, seed.InSet, core.SwapOptions{}, core.Hooks{})
+		}},
 	} {
 		r, err := a.run()
 		if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestStatOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{a, b}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{a, b}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
 	out := stdout.String()
@@ -34,10 +35,10 @@ func TestStatOutput(t *testing.T) {
 
 func TestStatErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), nil, &stdout, &stderr); code != 2 {
 		t.Fatalf("no args: exit %d", code)
 	}
-	if code := run([]string{"/missing.adj"}, &stdout, &stderr); code != 1 {
+	if code := run(context.Background(), []string{"/missing.adj"}, &stdout, &stderr); code != 1 {
 		t.Fatalf("missing file: exit %d", code)
 	}
 }

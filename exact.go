@@ -21,7 +21,7 @@ func Exact(f *File) (*Result, error) {
 		return nil, fmt.Errorf("mis: exact solver supports ≤ %d vertices, got %d",
 			MaxExactVertices, f.NumVertices())
 	}
-	g, err := gio.LoadGraph(f.inner.Path(), &f.stats)
+	g, err := gio.LoadGraph(f.inner.Path(), f.stats.Scope())
 	if err != nil {
 		return nil, err
 	}

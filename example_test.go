@@ -1,10 +1,12 @@
 package mis_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	mis "repro"
 )
@@ -88,6 +90,56 @@ func ExampleFile_OneKSwap() {
 	improved, _ := f.OneKSwap(baseline, mis.SwapOptions{})
 	fmt.Printf("%d -> %d\n", baseline.Size, improved.Size)
 	// Output: 2 -> 4
+}
+
+func ExampleNewSolver() {
+	dir, _ := os.MkdirTemp("", "mis-example")
+	defer os.RemoveAll(dir)
+
+	f, err := mis.Open(figure1(dir, false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// The Solver is the context-first entry point: functional options carry
+	// the swap tuning and observers, and every call takes a context that
+	// cancels mid-scan. Here the per-round event stream watches one-k-swap
+	// rescue the stuck BASELINE result of Figure 1.
+	solver := mis.NewSolver(f,
+		mis.MaxRounds(9),
+		mis.OnRound(func(ev mis.RoundEvent) {
+			fmt.Printf("round %d: %+d -> %d\n", ev.Round, ev.Gain, ev.Size)
+		}),
+	)
+	ctx := context.Background()
+	seed, _ := solver.Solve(ctx, mis.AlgBaseline)
+	improved, _ := solver.OneKSwap(ctx, seed)
+	fmt.Printf("%d -> %d\n", seed.Size, improved.Size)
+	// Output:
+	// round 1: +2 -> 4
+	// round 2: +0 -> 4
+	// 2 -> 4
+}
+
+func ExampleSolver_Solve_deadline() {
+	dir, _ := os.MkdirTemp("", "mis-example")
+	defer os.RemoveAll(dir)
+
+	f, err := mis.Open(figure1(dir, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// A deadline bounds the whole run; an expired context stops the scan
+	// within one batch and the error unwraps to context.DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err = mis.NewSolver(f).Solve(ctx, mis.AlgTwoKSwap)
+	fmt.Println(err == nil, context.Cause(ctx))
+	// Output: false context deadline exceeded
 }
 
 func ExampleFile_ColorByIS() {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -45,34 +46,38 @@ func run(out io.Writer) error {
 	defer f.Close()
 	fmt.Fprintf(out, "graph: %d vertices, %d edges\n", f.NumVertices(), f.NumEdges())
 
-	greedy, err := f.Greedy()
+	// The Solver is the context-first API: every call takes a ctx that can
+	// carry a deadline or be canceled (Ctrl-C style) mid-scan, and options
+	// attach observers — per-scan progress, per-round gain — to long runs.
+	ctx := context.Background()
+	solver := mis.NewSolver(f)
+
+	greedy, err := solver.Greedy(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "greedy:      size %d, members %v\n", greedy.Size, greedy.Vertices())
 
-	one, err := f.OneKSwap(greedy, mis.SwapOptions{})
+	one, err := solver.OneKSwap(ctx, greedy)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "one-k-swap:  size %d after %d rounds\n", one.Size, one.Rounds)
 
-	two, err := f.TwoKSwap(greedy, mis.SwapOptions{})
+	two, err := solver.TwoKSwap(ctx, greedy)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "two-k-swap:  size %d after %d rounds\n", two.Size, two.Rounds)
 
-	bound, err := f.UpperBound()
+	bound, err := solver.UpperBound(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "upper bound: %d  → approximation ratio %.3f\n", bound, two.Ratio(bound))
 
-	if err := f.VerifyIndependent(two); err != nil {
-		return err
-	}
-	if err := f.VerifyMaximal(two); err != nil {
+	// Both checks fuse into a single physical scan.
+	if err := solver.Verify(ctx, two); err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "verified: the result is an independent set and maximal")

@@ -1,26 +1,37 @@
 package mis
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
 // RandomizedMaximal computes a maximal independent set with the randomized
 // external rounds of Abello, Buchsbaum and Westbrook (the paper's related
 // work [2]): random priorities, local minima join, O(log |V|) expected
-// sequential scans. Deterministic per seed.
+// sequential scans. Deterministic per seed for any worker count — like the
+// other algorithms it runs through the file's scan engine, so WithWorkers
+// parallelism applies.
 func (f *File) RandomizedMaximal(seed int64) (*Result, error) {
-	r, err := core.RandomizedMaximal(f.inner, seed)
-	if err != nil {
-		return nil, err
-	}
-	return fromCore(r), nil
+	return f.RandomizedMaximalCtx(context.Background(), seed)
+}
+
+// RandomizedMaximalCtx is RandomizedMaximal bound to a context (see
+// GreedyCtx).
+func (f *File) RandomizedMaximalCtx(ctx context.Context, seed int64) (*Result, error) {
+	return NewSolver(f).RandomizedMaximal(ctx, seed)
 }
 
 // WeiBound returns Wei's degree-based lower bound on the independence
 // number, Σ_v 1/(deg(v)+1), with one sequential scan. Every maximal
 // independent set this library produces is at least this large.
 func (f *File) WeiBound() (float64, error) {
-	return core.WeiBound(f.inner)
+	return f.WeiBoundCtx(context.Background())
+}
+
+// WeiBoundCtx is WeiBound bound to a context.
+func (f *File) WeiBoundCtx(ctx context.Context) (float64, error) {
+	return NewSolver(f).WeiBound(ctx)
 }
 
 // VertexCover returns the complement of the result as a vertex cover: every
@@ -32,7 +43,12 @@ func (r *Result) VertexCover() []bool {
 
 // VerifyVertexCover checks that every edge of f has an endpoint in cover.
 func (f *File) VerifyVertexCover(cover []bool) error {
-	return core.VerifyVertexCover(f.inner, cover)
+	return f.VerifyVertexCoverCtx(context.Background(), cover)
+}
+
+// VerifyVertexCoverCtx is VerifyVertexCover bound to a context.
+func (f *File) VerifyVertexCoverCtx(ctx context.Context, cover []bool) error {
+	return NewSolver(f).VerifyVertexCover(ctx, cover)
 }
 
 // Coloring is a proper vertex coloring produced by ColorByIS.
@@ -51,22 +67,21 @@ type Coloring struct {
 // proposes). maxColors caps the classes (0 = unlimited); exceeding the cap
 // is an error.
 func (f *File) ColorByIS(maxColors int) (*Coloring, error) {
-	col, err := core.ColorByIS(f.inner, maxColors)
-	if err != nil {
-		return nil, err
-	}
-	return &Coloring{
-		Colors:     col.Colors,
-		NumColors:  col.NumColors,
-		ClassSizes: col.ClassSizes,
-	}, nil
+	return f.ColorByISCtx(context.Background(), maxColors)
+}
+
+// ColorByISCtx is ColorByIS bound to a context: cancellation stops within
+// one decoded batch of the current class's scan.
+func (f *File) ColorByISCtx(ctx context.Context, maxColors int) (*Coloring, error) {
+	return NewSolver(f).ColorByIS(ctx, maxColors)
 }
 
 // VerifyColoring checks that the coloring is proper and complete for f.
 func (f *File) VerifyColoring(col *Coloring) error {
-	return core.VerifyColoring(f.inner, &core.Coloring{
-		Colors:     col.Colors,
-		NumColors:  col.NumColors,
-		ClassSizes: col.ClassSizes,
-	})
+	return f.VerifyColoringCtx(context.Background(), col)
+}
+
+// VerifyColoringCtx is VerifyColoring bound to a context.
+func (f *File) VerifyColoringCtx(ctx context.Context, col *Coloring) error {
+	return NewSolver(f).VerifyColoring(ctx, col)
 }

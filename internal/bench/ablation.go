@@ -20,7 +20,7 @@ func AblationIO(cfg *Config) error {
 	cfg.printf("%10s %10s %12s %12s %8s\n", "B", "|IS|", "blocks", "bytes", "time")
 	var baseline int
 	for _, blockSize := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
-		stats := &gio.Stats{}
+		stats := &gio.Counters{}
 		f, err := gio.Open(path, blockSize, stats)
 		if err != nil {
 			return err
@@ -38,8 +38,9 @@ func AblationIO(cfg *Config) error {
 		if r.Size != baseline {
 			cfg.printf("WARNING: block size changed the result (%d vs %d)\n", r.Size, baseline)
 		}
+		sn := stats.Snapshot()
 		cfg.printf("%10d %10d %12d %12d %8s\n",
-			blockSize, r.Size, stats.BlocksRead, stats.BytesRead, fmtDur(elapsed))
+			blockSize, r.Size, sn.BlocksRead, sn.BytesRead, fmtDur(elapsed))
 	}
 	return nil
 }
@@ -163,7 +164,7 @@ func AblationRandomAccess(cfg *Config) error {
 	// The §4.1 Remark is about passes over the disk, so count physical
 	// scans: greedy's marking pass and its fused degree/stat rider share
 	// one.
-	seqScans := stats.PhysicalScans
+	seqScans := stats.Snapshot().PhysicalScans
 	dyn, raStats, err := core.DynamicUpdateSemiExternal(f)
 	if err != nil {
 		return err

@@ -122,8 +122,8 @@ func hashName(s string) uint32 {
 }
 
 // openSorted opens an adjacency file with stats attached.
-func openSorted(path string) (*gio.File, *gio.Stats, error) {
-	stats := &gio.Stats{}
+func openSorted(path string) (*gio.File, *gio.Counters, error) {
+	stats := &gio.Counters{}
 	f, err := gio.Open(path, 0, stats)
 	return f, stats, err
 }

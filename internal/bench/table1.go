@@ -52,12 +52,12 @@ func Table1(cfg *Config) error {
 	cfg.printf("%-22s %-34s %14.1f\n", "Two-k-swap", "I/O scan(|V|+|E|) per round ×3", 3*scan)
 
 	// Measured blocks for one greedy scan, for comparison with the model.
-	before := stats.BlocksRead
+	before := stats.Snapshot().BlocksRead
 	if _, err := core.Greedy(f); err != nil {
 		return err
 	}
 	cfg.printf("measured: one sequential greedy scan read %d buffered blocks (model scan ≈ %.1f blocks of %d bytes)\n",
-		stats.BlocksRead-before, (v+e)*4/float64(gio.DefaultBlockSize), gio.DefaultBlockSize)
+		stats.Snapshot().BlocksRead-before, (v+e)*4/float64(gio.DefaultBlockSize), gio.DefaultBlockSize)
 	return nil
 }
 

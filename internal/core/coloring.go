@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gio"
+	"repro/internal/pipeline"
 	"repro/internal/semiext"
 )
 
@@ -34,11 +36,19 @@ type Coloring struct {
 // scan(|V|+|E|)) with O(|V|) memory. On a degree-sorted file the extraction
 // order mirrors the Greedy algorithm, which keeps early classes large and
 // the class count close to the greedy chromatic number.
-func ColorByIS(f *gio.File, maxColors int) (*Coloring, error) {
+func ColorByIS(f Source, maxColors int) (*Coloring, error) {
+	return ColorByISCtx(context.Background(), f, maxColors, Hooks{})
+}
+
+// ColorByISCtx is ColorByIS bound to a context and run hooks: ctx cancels
+// between batches and between color classes, hooks.OnScan observes
+// per-batch progress.
+func ColorByISCtx(ctx context.Context, f Source, maxColors int, h Hooks) (*Coloring, error) {
 	n := f.NumVertices()
 	if maxColors <= 0 {
 		maxColors = n + 1
 	}
+	rn := newRun(ctx, h)
 	snap := snapshot(f.Stats())
 	colors := make([]uint32, n)
 	for v := range colors {
@@ -53,6 +63,9 @@ func ColorByIS(f *gio.File, maxColors int) (*Coloring, error) {
 			return nil, fmt.Errorf("core: coloring: exceeded %d colors with %d vertices uncolored",
 				maxColors, remaining)
 		}
+		if err := rn.err(); err != nil {
+			return nil, fmt.Errorf("core: coloring: class %d: %w", c, err)
+		}
 		// One scan: greedy maximal IS over uncolored vertices.
 		for v := 0; v < n; v++ {
 			if colors[v] == NoColor {
@@ -61,20 +74,29 @@ func ColorByIS(f *gio.File, maxColors int) (*Coloring, error) {
 				states.Set(uint32(v), semiext.StateNonIS)
 			}
 		}
-		err := f.ForEach(func(r gio.Record) error {
-			u := r.ID
-			if states.Get(u) != semiext.StateInitial {
-				return nil
-			}
-			states.Set(u, semiext.StateIS)
-			for _, nb := range r.Neighbors {
-				if states.Get(nb) == semiext.StateInitial {
-					states.Set(nb, semiext.StateConflict) // excluded this round only
+		s := pipeline.New(f, rn.sopts(false))
+		s.Add(pipeline.Pass{
+			Name:           "color-class-greedy",
+			MutatesStates:  true,
+			NeedsScanOrder: true,
+			Batch: func(batch []gio.Record) error {
+				for i := range batch {
+					r := &batch[i]
+					u := r.ID
+					if states.Get(u) != semiext.StateInitial {
+						continue
+					}
+					states.Set(u, semiext.StateIS)
+					for _, nb := range r.Neighbors {
+						if states.Get(nb) == semiext.StateInitial {
+							states.Set(nb, semiext.StateConflict) // excluded this round only
+						}
+					}
 				}
-			}
-			return nil
+				return nil
+			},
 		})
-		if err != nil {
+		if err := s.Run(); err != nil {
 			return nil, fmt.Errorf("core: coloring: %w", err)
 		}
 		assigned := 0
@@ -101,7 +123,14 @@ func ColorByIS(f *gio.File, maxColors int) (*Coloring, error) {
 
 // VerifyColoring checks with one sequential scan that no edge joins two
 // vertices of the same color and that every vertex is colored.
-func VerifyColoring(f *gio.File, col *Coloring) error {
+func VerifyColoring(f Source, col *Coloring) error {
+	return VerifyColoringCtx(context.Background(), f, col, Hooks{})
+}
+
+// VerifyColoringCtx is VerifyColoring bound to a context and run hooks.
+// Like the other verify passes it records only the first violation in scan
+// order and opts out of the rest of the stream.
+func VerifyColoringCtx(ctx context.Context, f Source, col *Coloring, h Hooks) error {
 	if len(col.Colors) != f.NumVertices() {
 		return fmt.Errorf("core: verify coloring: %d entries for %d vertices",
 			len(col.Colors), f.NumVertices())
@@ -114,13 +143,24 @@ func VerifyColoring(f *gio.File, col *Coloring) error {
 			return fmt.Errorf("core: vertex %d has out-of-range color %d", v, c)
 		}
 	}
-	return f.ForEach(func(r gio.Record) error {
-		for _, nb := range r.Neighbors {
-			if col.Colors[r.ID] == col.Colors[nb] {
-				return fmt.Errorf("core: edge {%d,%d} monochromatic (color %d)",
-					r.ID, nb, col.Colors[r.ID])
+	var firstErr error
+	s := pipeline.New(f, newRun(ctx, h).sopts(false))
+	s.Add(pipeline.Pass{
+		Name: "verify-coloring",
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				for _, nb := range r.Neighbors {
+					if col.Colors[r.ID] == col.Colors[nb] {
+						firstErr = fmt.Errorf("core: edge {%d,%d} monochromatic (color %d)",
+							r.ID, nb, col.Colors[r.ID])
+						return pipeline.ErrStopScan
+					}
+				}
 			}
-		}
-		return nil
+			return nil
+		},
+		Done: func() error { return firstErr },
 	})
+	return s.Run()
 }

@@ -24,7 +24,7 @@ func writeFile(t *testing.T, g *graph.Graph, sorted bool) *gio.File {
 	if err != nil {
 		t.Fatalf("write graph: %v", err)
 	}
-	f, err := gio.Open(path, 0, &gio.Stats{})
+	f, err := gio.Open(path, 0, &gio.Counters{})
 	if err != nil {
 		t.Fatalf("open graph: %v", err)
 	}

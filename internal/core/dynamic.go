@@ -1,8 +1,40 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
+	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
+
+// LoadGraphSource reads the whole graph into memory through one scheduled
+// sequential scan of f — the load half of the DynamicUpdate baseline. Unlike
+// gio.LoadGraph it runs on the caller's scan engine, so it honors the run's
+// context, reports per-batch progress through the hooks, and accounts into
+// the run's stat scope like every other pass.
+func LoadGraphSource(ctx context.Context, f Source, h Hooks) (*graph.Graph, error) {
+	b := graph.NewBuilder(f.NumVertices())
+	s := pipeline.New(f, newRun(ctx, h).sopts(false))
+	s.Add(pipeline.Pass{
+		Name:     "load-graph",
+		ReadOnly: true, // writes only the builder no co-scheduled pass reads
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				for _, nb := range r.Neighbors {
+					b.AddEdge(r.ID, nb)
+				}
+			}
+			return nil
+		},
+	})
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("core: load graph: %w", err)
+	}
+	return b.Build(), nil
+}
 
 // DynamicUpdate is the classical in-memory greedy of Halldórsson and
 // Radhakrishnan (the paper's DYNAMICUPDATE competitor): repeatedly move a

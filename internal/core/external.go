@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/extpq"
@@ -31,14 +32,22 @@ type ExternalMaximalOptions struct {
 // The algorithm guarantees maximality only — not size — which is exactly
 // the gap the paper's swap algorithms close.
 func ExternalMaximal(f Source, opts ExternalMaximalOptions) (*Result, error) {
+	return ExternalMaximalCtx(context.Background(), f, opts, Hooks{})
+}
+
+// ExternalMaximalCtx is ExternalMaximal bound to a context and run hooks:
+// ctx cancels both passes between batches, hooks.OnScan observes per-batch
+// progress.
+func ExternalMaximalCtx(ctx context.Context, f Source, opts ExternalMaximalOptions, h Hooks) (*Result, error) {
 	n := f.NumVertices()
+	rn := newRun(ctx, h)
 	snap := snapshot(f.Stats())
 
 	// Scan 1: record each vertex's scan position so messages can be keyed
 	// by processing time.
 	pos := make([]uint32, n)
 	posNext := uint32(0)
-	posSched := pipeline.New(f, pipeline.Options{})
+	posSched := pipeline.New(f, rn.sopts(false))
 	posSched.Add(pipeline.Pass{
 		Name:           "external-positions",
 		ReadOnly:       true, // writes only the position array no co-scheduled pass reads
@@ -60,7 +69,7 @@ func ExternalMaximal(f Source, opts ExternalMaximalOptions) (*Result, error) {
 
 	res := newResult(n)
 	var pqPeak int
-	mainSched := pipeline.New(f, pipeline.Options{})
+	mainSched := pipeline.New(f, rn.sopts(false))
 	mainSched.Add(pipeline.Pass{
 		Name:           "external-time-forward",
 		NeedsScanOrder: true,

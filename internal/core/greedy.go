@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gio"
@@ -17,6 +18,14 @@ import (
 // vertex, and the result is always a maximal independent set.
 func Greedy(f Source) (*Result, error) {
 	return GreedyScheduled(f, pipeline.Options{})
+}
+
+// GreedyCtx is Greedy bound to a context and run hooks: ctx cancels the
+// marking scan between batches (the error wraps ctx.Err with the scan
+// position), and hooks.OnScan observes per-batch progress. A nil ctx and
+// zero hooks behave exactly like Greedy.
+func GreedyCtx(ctx context.Context, f Source, h Hooks) (*Result, error) {
+	return GreedyScheduled(f, newRun(ctx, h).sopts(false))
 }
 
 // GreedyScheduled is Greedy with explicit scheduler options; passing an

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,9 +43,10 @@ func (o SwapOptions) tracePhase(round int, phase string, states semiext.States) 
 	}
 }
 
-// scheduler returns a pass scheduler over f honoring the Unfused knob.
-func (o SwapOptions) scheduler(f Source) *pipeline.Scheduler {
-	return pipeline.New(f, pipeline.Options{Unfused: o.Unfused})
+// scheduler returns a pass scheduler over f honoring the Unfused knob and
+// the run's cancellation and progress hooks.
+func (o SwapOptions) scheduler(f Source, rn run) *pipeline.Scheduler {
+	return pipeline.New(f, rn.sopts(o.Unfused))
 }
 
 // WithDefaults returns a copy of o with every unset field replaced by its
@@ -102,11 +104,20 @@ const oneKProduct = "one-k-states"
 // classic dedicated scans. Only sequential scans touch the file; memory
 // stays at a few words per vertex.
 func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
+	return OneKSwapCtx(context.Background(), f, initial, opts, Hooks{})
+}
+
+// OneKSwapCtx is OneKSwap bound to a context and run hooks: ctx cancels
+// between batches, between rounds and before carried-collection replays;
+// hooks.OnScan observes per-batch progress and hooks.OnRound each completed
+// round with its gain and I/O delta.
+func OneKSwapCtx(ctx context.Context, f Source, initial []bool, opts SwapOptions, h Hooks) (*Result, error) {
 	n := f.NumVertices()
 	if len(initial) != n {
 		return nil, fmt.Errorf("core: one-k-swap: initial set has %d entries for %d vertices", len(initial), n)
 	}
 	opts = opts.WithDefaults(n)
+	rn := newRun(ctx, h)
 	snap := snapshot(f.Stats())
 
 	states := semiext.NewStates(n)
@@ -129,7 +140,7 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	if !opts.Unfused {
 		carry = newCarryCollector(states, false)
 	}
-	setup := opts.scheduler(f)
+	setup := opts.scheduler(f, rn)
 	setup.Add(pipeline.Pass{
 		Name:           "one-k-setup",
 		Produces:       oneKProduct,
@@ -170,14 +181,17 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	opts.tracePhase(0, "setup", states)
 
 	res := newResult(n)
-	sw := newSweeper(f, states)
+	sw := newSweeper(f, states, rn.sopts(opts.Unfused))
 	stall := 0
 	for round := 0; round < opts.MaxRounds; round++ {
 		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
 			break
 		}
+		if err := rn.err(); err != nil {
+			return nil, fmt.Errorf("core: one-k-swap: round %d: %w", round+1, err)
+		}
 		roundSnap := snapshot(f.Stats())
-		canSwap, err := oneKRound(f, states, isn, opts, round+1, opts.lastByBudget(round), sw, carry)
+		canSwap, err := oneKRound(f, states, isn, opts, rn, round+1, opts.lastByBudget(round), sw, carry)
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +199,12 @@ func OneKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 		res.Rounds++
 		newSize := states.CountIS()
 		res.RoundGains = append(res.RoundGains, newSize-size)
+		rn.hooks.round(RoundEvent{
+			Round: res.Rounds,
+			Gain:  newSize - size,
+			Size:  newSize,
+			IO:    res.RoundIO[len(res.RoundIO)-1],
+		})
 		if newSize == size {
 			stall++
 		} else {
@@ -273,17 +293,21 @@ func oneKPreRecord(states semiext.States, isn *semiext.ISN, u uint32, neighbors 
 // maximality sweep is then scheduled as a deferred pass fused into the
 // post-swap scan, and no carry is collected. A non-final post-swap scan
 // instead carries the next round's pre-swap collection.
-func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptions, round int, lastByBudget bool, sw *sweeper, carry *carryCollector) (bool, error) {
+func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptions, rn run, round int, lastByBudget bool, sw *sweeper, carry *carryCollector) (bool, error) {
 	// Pre-swap (Algorithm 2 lines 7–14): replay the carried collection, or
-	// pay the classic dedicated scan.
+	// pay the classic dedicated scan. The replay is the carried/cross-round
+	// path, so it honors cancellation like a dedicated scan would.
 	if carry != nil && carry.ready() {
+		if err := rn.err(); err != nil {
+			return false, fmt.Errorf("core: one-k-swap: pre-swap (carried): %w", err)
+		}
 		pipeline.ResolveCarried(f)
 		carry.forEach(func(u uint32, neighbors []uint32) {
 			oneKPreRecord(states, isn, u, neighbors)
 		})
 		carry.reset()
 	} else {
-		pre := opts.scheduler(f)
+		pre := opts.scheduler(f, rn)
 		pre.Add(pipeline.Pass{
 			Name:           "one-k-pre-swap",
 			MutatesStates:  true,
@@ -317,7 +341,7 @@ func oneKRound(f Source, states semiext.States, isn *semiext.ISN, opts SwapOptio
 	// Post-swap scan (lines 20–28), with the maximality sweep fused in when
 	// this is knowably the final round — and the next round's pre-swap
 	// collection fused in when it is not.
-	post := opts.scheduler(f)
+	post := opts.scheduler(f, rn)
 	postPass := postSwapPass(states, isn, false)
 	post.Add(postPass)
 	switch {

@@ -47,7 +47,7 @@ func writeSorted(t *testing.T, g *graph.Graph) *gio.File {
 	if err := gio.WriteGraphSorted(path, g, nil); err != nil {
 		t.Fatal(err)
 	}
-	stats := &gio.Stats{}
+	stats := &gio.Counters{}
 	f, err := gio.Open(path, 0, stats)
 	if err != nil {
 		t.Fatal(err)

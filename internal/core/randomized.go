@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/gio"
+	"repro/internal/pipeline"
 	"repro/internal/semiext"
 )
 
@@ -16,8 +18,16 @@ import (
 // neighbors, and a second scan retires the admitted vertices' neighbors.
 // With constant probability a constant fraction of vertices is decided per
 // round, so O(log |V|) scans decide everything.
-func RandomizedMaximal(f *gio.File, seed int64) (*Result, error) {
+func RandomizedMaximal(f Source, seed int64) (*Result, error) {
+	return RandomizedMaximalCtx(context.Background(), f, seed, Hooks{})
+}
+
+// RandomizedMaximalCtx is RandomizedMaximal bound to a context and run
+// hooks: ctx cancels between batches and between rounds, hooks.OnScan
+// observes per-batch progress. Deterministic per seed for any Source.
+func RandomizedMaximalCtx(ctx context.Context, f Source, seed int64, h Hooks) (*Result, error) {
 	n := f.NumVertices()
+	rn := newRun(ctx, h)
 	snap := snapshot(f.Stats())
 	rng := rand.New(rand.NewSource(seed))
 
@@ -31,49 +41,77 @@ func RandomizedMaximal(f *gio.File, seed int64) (*Result, error) {
 		if rounds > 64*(bitsLen(n)+1) {
 			return nil, fmt.Errorf("core: randomized maximal: no progress after %d rounds", rounds)
 		}
+		if err := rn.err(); err != nil {
+			return nil, fmt.Errorf("core: randomized maximal: round %d: %w", rounds, err)
+		}
 		for v := 0; v < n; v++ {
 			if states.Get(uint32(v)) == semiext.StateInitial {
 				prio[v] = rng.Uint64()
 			}
 		}
-		// Scan 1: local minima of the priority order join the set.
-		err := f.ForEach(func(r gio.Record) error {
-			u := r.ID
-			if states.Get(u) != semiext.StateInitial {
+		// Scan 1: local minima of the priority order join the set. Both
+		// scans mutate the shared state array mid-scan, so each runs as its
+		// own scheduler pass (and therefore its own physical scan).
+		s1 := pipeline.New(f, rn.sopts(false))
+		s1.Add(pipeline.Pass{
+			Name:           "randomized-elect",
+			MutatesStates:  true,
+			NeedsScanOrder: true,
+			Batch: func(batch []gio.Record) error {
+				for i := range batch {
+					r := &batch[i]
+					u := r.ID
+					if states.Get(u) != semiext.StateInitial {
+						continue
+					}
+					beaten := false
+					for _, nb := range r.Neighbors {
+						if states.Get(nb) == semiext.StateInitial && beats(prio[nb], nb, prio[u], u) {
+							beaten = true
+							break
+						}
+						if states.Get(nb) == semiext.StateProtected {
+							// A neighbor already won this round.
+							beaten = true
+							break
+						}
+					}
+					if !beaten {
+						states.Set(u, semiext.StateProtected)
+					}
+				}
 				return nil
-			}
-			for _, nb := range r.Neighbors {
-				if states.Get(nb) == semiext.StateInitial && beats(prio[nb], nb, prio[u], u) {
-					return nil
-				}
-				if states.Get(nb) == semiext.StateProtected {
-					// A neighbor already won this round.
-					return nil
-				}
-			}
-			states.Set(u, semiext.StateProtected)
-			return nil
+			},
 		})
-		if err != nil {
+		if err := s1.Run(); err != nil {
 			return nil, fmt.Errorf("core: randomized maximal: %w", err)
 		}
 		// Scan 2: winners become IS; their undecided neighbors retire.
-		err = f.ForEach(func(r gio.Record) error {
-			u := r.ID
-			if states.Get(u) != semiext.StateProtected {
-				return nil
-			}
-			states.Set(u, semiext.StateIS)
-			undecided--
-			for _, nb := range r.Neighbors {
-				if states.Get(nb) == semiext.StateInitial {
-					states.Set(nb, semiext.StateNonIS)
+		s2 := pipeline.New(f, rn.sopts(false))
+		s2.Add(pipeline.Pass{
+			Name:           "randomized-retire",
+			MutatesStates:  true,
+			NeedsScanOrder: true,
+			Batch: func(batch []gio.Record) error {
+				for i := range batch {
+					r := &batch[i]
+					u := r.ID
+					if states.Get(u) != semiext.StateProtected {
+						continue
+					}
+					states.Set(u, semiext.StateIS)
 					undecided--
+					for _, nb := range r.Neighbors {
+						if states.Get(nb) == semiext.StateInitial {
+							states.Set(nb, semiext.StateNonIS)
+							undecided--
+						}
+					}
 				}
-			}
-			return nil
+				return nil
+			},
 		})
-		if err != nil {
+		if err := s2.Run(); err != nil {
 			return nil, fmt.Errorf("core: randomized maximal: %w", err)
 		}
 	}

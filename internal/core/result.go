@@ -105,25 +105,16 @@ func setFromMembers(n int, members []uint32) []bool {
 }
 
 // statsDelta captures the I/O performed between snap and now.
-func statsDelta(stats *gio.Stats, snap gio.Stats) gio.Stats {
+func statsDelta(stats *gio.Counters, snap gio.Stats) gio.Stats {
 	if stats == nil {
 		return gio.Stats{}
 	}
-	return gio.Stats{
-		Scans:         stats.Scans - snap.Scans,
-		PhysicalScans: stats.PhysicalScans - snap.PhysicalScans,
-		CarriedScans:  stats.CarriedScans - snap.CarriedScans,
-		RecordsRead:   stats.RecordsRead - snap.RecordsRead,
-		BytesRead:     stats.BytesRead - snap.BytesRead,
-		BytesWritten:  stats.BytesWritten - snap.BytesWritten,
-		BlocksRead:    stats.BlocksRead - snap.BlocksRead,
-		BlocksWritten: stats.BlocksWritten - snap.BlocksWritten,
-	}
+	return stats.Snapshot().Sub(snap)
 }
 
-func snapshot(stats *gio.Stats) gio.Stats {
+func snapshot(stats *gio.Counters) gio.Stats {
 	if stats == nil {
 		return gio.Stats{}
 	}
-	return *stats
+	return stats.Snapshot()
 }

@@ -20,14 +20,14 @@ const (
 	multiroundFixture = "../../testdata/multiround.adj"
 )
 
-func openTiny(t *testing.T) (*gio.File, *gio.Stats) {
+func openTiny(t *testing.T) (*gio.File, *gio.Counters) {
 	t.Helper()
 	return openFixture(t, tinyFixture)
 }
 
-func openFixture(t *testing.T, path string) (*gio.File, *gio.Stats) {
+func openFixture(t *testing.T, path string) (*gio.File, *gio.Counters) {
 	t.Helper()
-	stats := &gio.Stats{}
+	stats := &gio.Counters{}
 	f, err := gio.Open(path, 0, stats)
 	if err != nil {
 		t.Fatal(err)
@@ -89,17 +89,17 @@ func TestScanCountGolden(t *testing.T) {
 	}
 	checkIO(t, "external-maximal", ext.IO, 2, 2)
 
-	before := *stats
+	before := stats.Snapshot()
 	if _, err := UpperBound(f); err != nil {
 		t.Fatal(err)
 	}
-	checkIO(t, "upper-bound", scanDelta(*stats, before), 1, 1)
+	checkIO(t, "upper-bound", scanDelta(stats.Snapshot(), before), 1, 1)
 
-	before = *stats
+	before = stats.Snapshot()
 	if err := VerifyBoth(f, two.InSet); err != nil {
 		t.Fatal(err)
 	}
-	checkIO(t, "verify-both", scanDelta(*stats, before), 2, 1)
+	checkIO(t, "verify-both", scanDelta(stats.Snapshot(), before), 2, 1)
 }
 
 func checkIO(t *testing.T, label string, io gio.Stats, wantLogical, wantPhysical int) {

@@ -12,8 +12,8 @@ import "repro/internal/gio"
 type Source interface {
 	// NumVertices returns the vertex count from the file header.
 	NumVertices() int
-	// Stats returns the shared I/O statistics, which may be nil.
-	Stats() *gio.Stats
+	// Stats returns the shared I/O counters, which may be nil.
+	Stats() *gio.Counters
 	// ForEachBatch runs one full scan, invoking fn for every decoded batch
 	// of records in scan order. fn must not retain a batch.
 	ForEachBatch(fn func([]gio.Record) error) error

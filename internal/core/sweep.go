@@ -39,17 +39,22 @@ type sweeper struct {
 	states semiext.States
 	buf    *semiext.RecordBuffer // pending vertices, in scan order
 
+	// sopts carries the owning run's scheduler options (context, progress)
+	// into the fallback dedicated sweep scan.
+	sopts pipeline.Options
+
 	// collected is set when the sweep pass was scheduled into a post-swap
 	// scan; the owning algorithm must then call apply after its round loop
 	// (not earlier: the sweep's additions belong to no round's gain count).
 	collected bool
 }
 
-func newSweeper(f Source, states semiext.States) *sweeper {
+func newSweeper(f Source, states semiext.States, sopts pipeline.Options) *sweeper {
 	return &sweeper{
 		f:      f,
 		states: states,
 		buf:    semiext.NewRecordBuffer(states.Len()+1024, false),
+		sopts:  sopts,
 	}
 }
 
@@ -101,7 +106,7 @@ func (sw *sweeper) finish() error {
 	if sw.collected {
 		return sw.apply()
 	}
-	return maximalitySweep(sw.f, sw.states)
+	return maximalitySweep(sw.f, sw.states, sw.sopts)
 }
 
 // apply resolves the pending candidates in scan order: a vertex joins iff
@@ -109,7 +114,7 @@ func (sw *sweeper) finish() error {
 // it runs the classic dedicated sweep scan instead.
 func (sw *sweeper) apply() error {
 	if sw.buf.Overflowed() {
-		return maximalitySweep(sw.f, sw.states)
+		return maximalitySweep(sw.f, sw.states, sw.sopts)
 	}
 	sw.buf.ForEach(func(u uint32, neighbors []uint32) {
 		for _, nb := range neighbors {
@@ -128,23 +133,31 @@ func (sw *sweeper) apply() error {
 // condition left isolated candidates behind. A single sequential scan
 // suffices: a vertex skipped here has an IS neighbor, and additions only
 // give later vertices more IS neighbors. It remains the sweeper's overflow
-// fallback; the scheduled path is sweeper.pass.
-func maximalitySweep(f Source, states semiext.States) error {
-	return f.ForEachBatch(func(batch []gio.Record) error {
-	records:
-		for i := range batch {
-			r := &batch[i]
-			u := r.ID
-			if states.Get(u) == semiext.StateIS {
-				continue
-			}
-			for _, nb := range r.Neighbors {
-				if states.Get(nb) == semiext.StateIS {
-					continue records
+// fallback; the scheduled path is sweeper.pass. Run through the scheduler so
+// it honors the run's context and progress hooks like every other scan.
+func maximalitySweep(f Source, states semiext.States, sopts pipeline.Options) error {
+	s := pipeline.New(f, sopts)
+	s.Add(pipeline.Pass{
+		Name:           "maximality-sweep-classic",
+		MutatesStates:  true,
+		NeedsScanOrder: true,
+		Batch: func(batch []gio.Record) error {
+		records:
+			for i := range batch {
+				r := &batch[i]
+				u := r.ID
+				if states.Get(u) == semiext.StateIS {
+					continue
 				}
+				for _, nb := range r.Neighbors {
+					if states.Get(nb) == semiext.StateIS {
+						continue records
+					}
+				}
+				states.Set(u, semiext.StateIS)
 			}
-			states.Set(u, semiext.StateIS)
-		}
-		return nil
+			return nil
+		},
 	})
+	return s.Run()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -84,11 +85,20 @@ func pairKey(w1, w2 uint32) uint64 {
 // from different groups turn out to be adjacent — an edge no SC pair ever
 // examined. See DESIGN.md §3.3 for why rollback is confined to one group.
 func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
+	return TwoKSwapCtx(context.Background(), f, initial, opts, Hooks{})
+}
+
+// TwoKSwapCtx is TwoKSwap bound to a context and run hooks: ctx cancels
+// between batches, between rounds and before carried-collection replays;
+// hooks.OnScan observes per-batch progress and hooks.OnRound each completed
+// round with its gain and I/O delta.
+func TwoKSwapCtx(ctx context.Context, f Source, initial []bool, opts SwapOptions, h Hooks) (*Result, error) {
 	n := f.NumVertices()
 	if len(initial) != n {
 		return nil, fmt.Errorf("core: two-k-swap: initial set has %d entries for %d vertices", len(initial), n)
 	}
 	opts = opts.WithDefaults(n)
+	rn := newRun(ctx, h)
 	snap := snapshot(f.Stats())
 
 	st := &twoKState{
@@ -117,7 +127,7 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	// Setup scan (Algorithm 3 lines 1–3): A vertices with one or two IS
 	// neighbors, fused with the read-only collection of the degree array
 	// that caps SC bucket sizes.
-	setup := opts.scheduler(f)
+	setup := opts.scheduler(f, rn)
 	setup.Add(pipeline.Pass{
 		Name:           "two-k-setup",
 		Produces:       twoKProduct,
@@ -179,14 +189,17 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 	opts.tracePhase(0, "setup", st.states)
 
 	res := newResult(n)
-	sw := newSweeper(f, st.states)
+	sw := newSweeper(f, st.states, rn.sopts(opts.Unfused))
 	stall := 0
 	for round := 0; round < opts.MaxRounds; round++ {
 		if opts.EarlyStopRounds > 0 && round >= opts.EarlyStopRounds {
 			break
 		}
+		if err := rn.err(); err != nil {
+			return nil, fmt.Errorf("core: two-k-swap: round %d: %w", round+1, err)
+		}
 		roundSnap := snapshot(f.Stats())
-		canSwap, err := st.round(f, opts, round+1, opts.lastByBudget(round), sw)
+		canSwap, err := st.round(f, opts, rn, round+1, opts.lastByBudget(round), sw)
 		if err != nil {
 			return nil, err
 		}
@@ -194,6 +207,12 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 		res.Rounds++
 		newSize := st.states.CountIS()
 		res.RoundGains = append(res.RoundGains, newSize-size)
+		rn.hooks.round(RoundEvent{
+			Round: res.Rounds,
+			Gain:  newSize - size,
+			Size:  newSize,
+			IO:    res.RoundIO[len(res.RoundIO)-1],
+		})
 		if newSize == size {
 			stall++
 		} else {
@@ -234,7 +253,7 @@ func TwoKSwap(f Source, initial []bool, opts SwapOptions) (*Result, error) {
 // the no-swap signal from the swap pass is the other way a final post-swap
 // scan is recognized, and in either case the maximality sweep fuses into it
 // — a non-final post-swap scan instead carries the next round's collection.
-func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget bool, sw *sweeper) (bool, error) {
+func (st *twoKState) round(f Source, opts SwapOptions, rn run, round int, lastByBudget bool, sw *sweeper) (bool, error) {
 	st.groups = st.groups[:0]
 	for i := range st.groupOf {
 		st.groupOf[i] = -1
@@ -249,7 +268,11 @@ func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget b
 		// Replay both carried passes against the completed product of the
 		// previous scan: pre-swap over the buffered A records, then the
 		// validating swap pass over the resulting P vertices (from the same
-		// buffer) interleaved with the R vertices in exact scan order.
+		// buffer) interleaved with the R vertices in exact scan order. The
+		// carried path honors cancellation like the dedicated scans would.
+		if err := rn.err(); err != nil {
+			return false, fmt.Errorf("core: two-k-swap: pre-swap (carried): %w", err)
+		}
 		pipeline.ResolveCarried(f)
 		nbrSet := make(map[uint32]struct{})
 		st.carry.forEach(func(u uint32, neighbors []uint32) {
@@ -257,18 +280,21 @@ func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget b
 		})
 		opts.tracePhase(round, "pre-swap", st.states)
 
+		if err := rn.err(); err != nil {
+			return false, fmt.Errorf("core: two-k-swap: swap (carried): %w", err)
+		}
 		pipeline.ResolveCarried(f)
 		st.replaySwap()
 		st.carry.reset()
 	} else {
-		pre := opts.scheduler(f)
+		pre := opts.scheduler(f, rn)
 		pre.Add(st.preSwapPass())
 		if err := pre.Run(); err != nil {
 			return false, fmt.Errorf("core: two-k-swap: pre-swap: %w", err)
 		}
 		opts.tracePhase(round, "pre-swap", st.states)
 
-		swap := opts.scheduler(f)
+		swap := opts.scheduler(f, rn)
 		swap.Add(st.swapPass())
 		if err := swap.Run(); err != nil {
 			return false, fmt.Errorf("core: two-k-swap: swap: %w", err)
@@ -277,7 +303,7 @@ func (st *twoKState) round(f Source, opts SwapOptions, round int, lastByBudget b
 	canSwap := st.canSwap
 	opts.tracePhase(round, "swap", st.states)
 
-	post := opts.scheduler(f)
+	post := opts.scheduler(f, rn)
 	postPass := postSwapPass(st.states, st.isn, true)
 	post.Add(postPass)
 	switch {

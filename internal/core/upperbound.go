@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gio"
@@ -17,10 +18,15 @@ import (
 // scan is one logical pass on the scheduler, touching only its pass-private
 // visited array.
 func UpperBound(f Source) (uint64, error) {
+	return UpperBoundCtx(context.Background(), f, Hooks{})
+}
+
+// UpperBoundCtx is UpperBound bound to a context and run hooks.
+func UpperBoundCtx(ctx context.Context, f Source, h Hooks) (uint64, error) {
 	n := f.NumVertices()
 	visited := make([]bool, n)
 	var bound uint64
-	s := pipeline.New(f, pipeline.Options{})
+	s := pipeline.New(f, newRun(ctx, h).sopts(false))
 	s.Add(pipeline.Pass{
 		Name:           "upper-bound",
 		ReadOnly:       true, // the visited array is pass-private

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gio"
+	"repro/internal/pipeline"
 )
 
 // VertexCover returns the complement of an independent set as a vertex
@@ -20,34 +22,64 @@ func VertexCover(inSet []bool) []bool {
 
 // VerifyVertexCover checks with one sequential scan that every edge of f
 // has at least one endpoint in the cover.
-func VerifyVertexCover(f *gio.File, cover []bool) error {
+func VerifyVertexCover(f Source, cover []bool) error {
+	return VerifyVertexCoverCtx(context.Background(), f, cover, Hooks{})
+}
+
+// VerifyVertexCoverCtx is VerifyVertexCover bound to a context and run
+// hooks. Like the other verify passes it records only the first violation
+// in scan order and opts out of the rest of the stream.
+func VerifyVertexCoverCtx(ctx context.Context, f Source, cover []bool, h Hooks) error {
 	if len(cover) != f.NumVertices() {
 		return fmt.Errorf("core: verify cover: %d entries for %d vertices", len(cover), f.NumVertices())
 	}
-	return f.ForEach(func(r gio.Record) error {
-		if cover[r.ID] {
-			return nil
-		}
-		for _, nb := range r.Neighbors {
-			if !cover[nb] {
-				return fmt.Errorf("core: edge {%d,%d} uncovered", r.ID, nb)
+	var firstErr error
+	s := pipeline.New(f, newRun(ctx, h).sopts(false))
+	s.Add(pipeline.Pass{
+		Name: "verify-vertex-cover",
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				r := &batch[i]
+				if cover[r.ID] {
+					continue
+				}
+				for _, nb := range r.Neighbors {
+					if !cover[nb] {
+						firstErr = fmt.Errorf("core: edge {%d,%d} uncovered", r.ID, nb)
+						return pipeline.ErrStopScan
+					}
+				}
 			}
-		}
-		return nil
+			return nil
+		},
+		Done: func() error { return firstErr },
 	})
+	return s.Run()
 }
 
 // WeiBound returns Wei's lower bound on the independence number,
 // Σ_v 1/(deg(v)+1), computed with one sequential scan. Every graph has an
 // independent set at least this large (Wei 1981, cited as [25]); it is a
 // useful sanity floor under the algorithms' results.
-func WeiBound(f *gio.File) (float64, error) {
+func WeiBound(f Source) (float64, error) {
+	return WeiBoundCtx(context.Background(), f, Hooks{})
+}
+
+// WeiBoundCtx is WeiBound bound to a context and run hooks.
+func WeiBoundCtx(ctx context.Context, f Source, h Hooks) (float64, error) {
 	var sum float64
-	err := f.ForEach(func(r gio.Record) error {
-		sum += 1.0 / float64(len(r.Neighbors)+1)
-		return nil
+	s := pipeline.New(f, newRun(ctx, h).sopts(false))
+	s.Add(pipeline.Pass{
+		Name:     "wei-bound",
+		ReadOnly: true, // the running sum is pass-private
+		Batch: func(batch []gio.Record) error {
+			for i := range batch {
+				sum += 1.0 / float64(len(batch[i].Neighbors)+1)
+			}
+			return nil
+		},
 	})
-	if err != nil {
+	if err := s.Run(); err != nil {
 		return 0, fmt.Errorf("core: wei bound: %w", err)
 	}
 	return sum, nil

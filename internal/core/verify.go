@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gio"
@@ -80,10 +81,16 @@ func checkSetSize(f Source, inSet []bool) error {
 // VerifyIndependent checks, with one sequential scan, that no edge of f has
 // both endpoints in the set.
 func VerifyIndependent(f Source, inSet []bool) error {
+	return VerifyIndependentCtx(context.Background(), f, inSet, Hooks{})
+}
+
+// VerifyIndependentCtx is VerifyIndependent bound to a context and run
+// hooks.
+func VerifyIndependentCtx(ctx context.Context, f Source, inSet []bool, h Hooks) error {
 	if err := checkSetSize(f, inSet); err != nil {
 		return err
 	}
-	s := pipeline.New(f, pipeline.Options{})
+	s := pipeline.New(f, newRun(ctx, h).sopts(false))
 	s.Add(verifyIndependentPass(inSet))
 	return s.Run()
 }
@@ -91,10 +98,15 @@ func VerifyIndependent(f Source, inSet []bool) error {
 // VerifyMaximal checks, with one sequential scan, that every vertex outside
 // the set has a neighbor inside it (assuming the set is independent).
 func VerifyMaximal(f Source, inSet []bool) error {
+	return VerifyMaximalCtx(context.Background(), f, inSet, Hooks{})
+}
+
+// VerifyMaximalCtx is VerifyMaximal bound to a context and run hooks.
+func VerifyMaximalCtx(ctx context.Context, f Source, inSet []bool, h Hooks) error {
 	if err := checkSetSize(f, inSet); err != nil {
 		return err
 	}
-	s := pipeline.New(f, pipeline.Options{})
+	s := pipeline.New(f, newRun(ctx, h).sopts(false))
 	s.Add(verifyMaximalPass(inSet))
 	return s.Run()
 }
@@ -105,6 +117,11 @@ func VerifyMaximal(f Source, inSet []bool) error {
 // would report.
 func VerifyBoth(f Source, inSet []bool) error {
 	return verifyBothScheduled(f, inSet, pipeline.Options{})
+}
+
+// VerifyBothCtx is VerifyBoth bound to a context and run hooks.
+func VerifyBothCtx(ctx context.Context, f Source, inSet []bool, h Hooks) error {
+	return verifyBothScheduled(f, inSet, newRun(ctx, h).sopts(false))
 }
 
 func verifyBothScheduled(f Source, inSet []bool, sopts pipeline.Options) error {

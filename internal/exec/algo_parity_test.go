@@ -16,7 +16,7 @@ import (
 
 func openPair(t *testing.T, path string) (seq, par *gio.File) {
 	t.Helper()
-	var s1, s2 gio.Stats
+	var s1, s2 gio.Counters
 	seq, err := gio.Open(path, 0, &s1)
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +142,7 @@ func TestFusedUnfusedWorkerMatrix(t *testing.T) {
 
 	for _, unfused := range []bool{false, true} {
 		for _, workers := range []int{1, 2, 4, 7} {
-			var stats gio.Stats
+			var stats gio.Counters
 			f, err := gio.Open(path, 0, &stats)
 			if err != nil {
 				t.Fatal(err)

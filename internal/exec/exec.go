@@ -21,6 +21,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,8 +71,8 @@ func (e *Executor) NumVertices() int { return e.f.NumVertices() }
 // Header returns the file header.
 func (e *Executor) Header() gio.Header { return e.f.Header() }
 
-// Stats returns the file's shared I/O statistics, which may be nil.
-func (e *Executor) Stats() *gio.Stats { return e.f.Stats() }
+// Stats returns the file's shared I/O counters, which may be nil.
+func (e *Executor) Stats() *gio.Counters { return e.f.Stats() }
 
 // ForEach runs one full scan, invoking fn for every record in scan order.
 func (e *Executor) ForEach(fn func(gio.Record) error) error {
@@ -94,8 +95,17 @@ func (e *Executor) ForEach(fn func(gio.Record) error) error {
 // engine's — no pass may depend on them. fn must not retain a batch or its
 // Neighbors slices past the call.
 func (e *Executor) ForEachBatch(fn func([]gio.Record) error) error {
+	return e.ForEachBatchCtx(nil, fn)
+}
+
+// ForEachBatchCtx is ForEachBatch bound to a context: when ctx is canceled
+// or its deadline passes, the merge loop stops within one batch, the worker
+// pool is drained (no goroutine outlives the call), and the scan returns the
+// ctx error wrapped in a gio.ScanError carrying the scan position. A nil ctx
+// behaves exactly like ForEachBatch.
+func (e *Executor) ForEachBatchCtx(ctx context.Context, fn func([]gio.Record) error) error {
 	if e.workers <= 1 {
-		return e.f.ForEachBatch(fn)
+		return e.f.ForEachBatchCtx(ctx, fn)
 	}
 	if e.f.PlanCaptureViable() { // no plan cached yet and capture can still install one
 		// Cold start: no cut table yet. A dedicated planning side scan would
@@ -106,15 +116,15 @@ func (e *Executor) ForEachBatch(fn func([]gio.Record) error) error {
 		// Stats, and every subsequent scan goes parallel off the cached plan.
 		// If the capture cannot validate (see gio), the next scan falls
 		// through to Partitions' self-checking side scan below.
-		return e.f.ForEachBatchWithPlanCapture(fn)
+		return e.f.ForEachBatchWithPlanCaptureCtx(ctx, fn)
 	}
 	parts, err := e.f.Partitions(e.workers * partitionsPerWorker)
 	if err != nil || len(parts) < 2 {
 		// Malformed input (planning failed) or a file too small to split:
 		// the sequential engine is the oracle, run it verbatim.
-		return e.f.ForEachBatch(fn)
+		return e.f.ForEachBatchCtx(ctx, fn)
 	}
-	return e.runParallel(parts, fn)
+	return e.runParallel(ctx, parts, fn)
 }
 
 // ForEachBatchWithPlanCapture runs one full scan with opportunistic
@@ -123,7 +133,13 @@ func (e *Executor) ForEachBatch(fn func([]gio.Record) error) error {
 // but the method makes the capability visible to the pass scheduler
 // (internal/pipeline), which type-asserts for it.
 func (e *Executor) ForEachBatchWithPlanCapture(fn func([]gio.Record) error) error {
-	return e.ForEachBatch(fn)
+	return e.ForEachBatchCtx(nil, fn)
+}
+
+// ForEachBatchWithPlanCaptureCtx is the context-aware form of
+// ForEachBatchWithPlanCapture, likewise ForEachBatchCtx itself.
+func (e *Executor) ForEachBatchWithPlanCaptureCtx(ctx context.Context, fn func([]gio.Record) error) error {
+	return e.ForEachBatchCtx(ctx, fn)
 }
 
 // batchMsg carries one decoded batch (or a partition's terminal status) from
@@ -142,7 +158,7 @@ type batchBufs struct {
 	arena []uint32
 }
 
-func (e *Executor) runParallel(parts []gio.Partition, fn func([]gio.Record) error) error {
+func (e *Executor) runParallel(ctx context.Context, parts []gio.Partition, fn func([]gio.Record) error) error {
 	nw := e.workers
 	if nw > len(parts) {
 		nw = len(parts)
@@ -178,6 +194,8 @@ func (e *Executor) runParallel(parts []gio.Partition, fn func([]gio.Record) erro
 	// sequential engine's stopping point.
 	st := e.f.Stats()
 	consumedEnd := int64(gio.HeaderSize) // end offset of the last fully consumed partition
+	total := uint64(e.f.NumVertices())
+	var delivered uint64
 	var runErr error
 consume:
 	for i := range chans {
@@ -191,13 +209,24 @@ consume:
 				consumedEnd = parts[i].EndOffset
 				break
 			}
+			if ctx != nil {
+				// Cancellation point of the merge loop: stop before handing
+				// fn another batch, then fall through to the pool drain
+				// below — close(quit) unblocks every worker, wg.Wait
+				// guarantees none outlives the call.
+				if err := ctx.Err(); err != nil {
+					runErr = &gio.ScanError{Records: delivered, Total: total, Err: err}
+					break consume
+				}
+			}
 			if st != nil {
-				st.RecordsRead += uint64(len(msg.recs))
+				st.AddRecordsRead(uint64(len(msg.recs)))
 			}
 			if err := fn(msg.recs); err != nil {
 				runErr = err
 				break consume
 			}
+			delivered += uint64(len(msg.recs))
 			pool.Put(&batchBufs{recs: msg.recs, arena: msg.arena})
 		}
 	}
@@ -224,12 +253,12 @@ consume:
 			if size, err := e.f.SizeBytes(); err == nil && bytes > size-gio.HeaderSize {
 				bytes = size - gio.HeaderSize
 			}
-			st.BlocksRead += uint64(blocks)
-			st.BytesRead += uint64(bytes)
+			st.AddBlocksRead(uint64(blocks))
+			st.AddBytesRead(uint64(bytes))
 		}
 		if runErr == nil {
-			st.Scans++
-			st.PhysicalScans++
+			st.AddScans(1)
+			st.AddPhysicalScans(1)
 		}
 	}
 	return runErr

@@ -79,10 +79,11 @@ func (o scanOutcome) errString() string {
 
 // runScan scans path with the given worker count (1 = the sequential
 // engine), collecting records, final error and stats.
-func runScan(t testing.TB, path string, workers, blockSize int) scanOutcome {
+func runScan(t testing.TB, path string, workers, blockSize int) (out scanOutcome) {
 	t.Helper()
-	var out scanOutcome
-	f, err := gio.Open(path, blockSize, &out.stats)
+	var counters gio.Counters
+	defer func() { out.stats = counters.Snapshot() }()
+	f, err := gio.Open(path, blockSize, &counters)
 	if err != nil {
 		out.err = err
 		return out
@@ -352,7 +353,7 @@ func TestColdStartCapturePar(t *testing.T) {
 		path := writeFile(t, dir, g, compressed, fmt.Sprintf("cold-%v.adj", compressed))
 		ref := runScan(t, path, 1, 4096)
 		for _, w := range parityWorkers {
-			var stats gio.Stats
+			var stats gio.Counters
 			f, err := gio.Open(path, 4096, &stats)
 			if err != nil {
 				t.Fatal(err)
@@ -361,7 +362,7 @@ func TestColdStartCapturePar(t *testing.T) {
 			for scan := 0; scan < 2; scan++ {
 				label := fmt.Sprintf("compressed=%v workers=%d scan=%d", compressed, w, scan)
 				got := scanOutcome{}
-				statsBefore := stats
+				statsBefore := stats.Snapshot()
 				got.err = ex.ForEachBatch(func(batch []gio.Record) error {
 					for _, r := range batch {
 						got.recs = append(got.recs, gio.Record{
@@ -371,13 +372,7 @@ func TestColdStartCapturePar(t *testing.T) {
 					}
 					return nil
 				})
-				delta := stats
-				delta.Scans -= statsBefore.Scans
-				delta.PhysicalScans -= statsBefore.PhysicalScans
-				delta.RecordsRead -= statsBefore.RecordsRead
-				delta.BytesRead -= statsBefore.BytesRead
-				delta.BlocksRead -= statsBefore.BlocksRead
-				got.stats = delta
+				got.stats = stats.Snapshot().Sub(statsBefore)
 				assertSameOutcome(t, label, got, ref, true)
 				if !f.HasPartitionPlan() {
 					t.Fatalf("%s: no partition plan captured by the cold-start scan", label)

@@ -35,7 +35,7 @@ type Options struct {
 	// file's directory.
 	TempDir string
 	// Stats receives I/O accounting; may be nil.
-	Stats *gio.Stats
+	Stats *gio.Counters
 	// MaxFanIn bounds the number of runs merged at once (multiple merge
 	// passes happen above it). ≤ 0 selects 64.
 	MaxFanIn int

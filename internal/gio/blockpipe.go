@@ -12,6 +12,11 @@ import (
 // here; it must never become a hang.
 var errScanStopped = errors.New("scan stopped: file closed or superseded by a new scan")
 
+// errScanCanceled is delivered when the pipeline's external done channel (a
+// context's Done) fired. The consumer (Scanner.more) translates it into a
+// ScanError wrapping the context's error; it never escapes the package.
+var errScanCanceled = errors.New("scan canceled")
+
 // prefetcher reads consecutive fixed-size blocks of an adjacency file on a
 // background goroutine so that the next block is usually already in memory
 // by the time the decoder finishes the current one. Reads use ReadAt with an
@@ -29,6 +34,7 @@ type prefetcher struct {
 	blocks chan pblock
 	free   chan []byte
 	quit   chan struct{}
+	done   <-chan struct{} // external cancellation (ctx.Done), may be nil
 	once   sync.Once
 }
 
@@ -40,12 +46,17 @@ type pblock struct {
 	err error
 }
 
-// newPrefetcher starts reading blockSize blocks from f at offset off.
-func newPrefetcher(f *os.File, off int64, blockSize int) *prefetcher {
+// newPrefetcher starts reading blockSize blocks from f at offset off. done,
+// when non-nil, is an external cancellation signal (a context's Done
+// channel): once it closes, the producer stops fetching further blocks —
+// the consumer notices the cancellation itself between batches. A nil done
+// never fires.
+func newPrefetcher(f *os.File, off int64, blockSize int, done <-chan struct{}) *prefetcher {
 	p := &prefetcher{
 		blocks: make(chan pblock, 1),
 		free:   make(chan []byte, 2),
 		quit:   make(chan struct{}),
+		done:   done,
 	}
 	p.free <- make([]byte, blockSize)
 	p.free <- make([]byte, blockSize)
@@ -60,12 +71,16 @@ func (p *prefetcher) run(f *os.File, off int64, blockSize int) {
 		case buf = <-p.free:
 		case <-p.quit:
 			return
+		case <-p.done:
+			return
 		}
 		n, err := f.ReadAt(buf[:blockSize], off)
 		off += int64(n)
 		select {
 		case p.blocks <- pblock{buf: buf[:n], err: err}:
 		case <-p.quit:
+			return
+		case <-p.done:
 			return
 		}
 		if err != nil {
@@ -90,6 +105,13 @@ func (p *prefetcher) next() pblock {
 			return blk
 		default:
 			return pblock{err: errScanStopped}
+		}
+	case <-p.done:
+		select {
+		case blk := <-p.blocks:
+			return blk
+		default:
+			return pblock{err: errScanCanceled}
 		}
 	}
 }

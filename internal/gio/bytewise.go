@@ -70,8 +70,8 @@ func (s *bytewiseScanner) next() bool {
 	if s.read == s.file.header.Vertices {
 		s.done = true
 		if s.file.stats != nil {
-			s.file.stats.Scans++
-			s.file.stats.PhysicalScans++
+			s.file.stats.AddScans(1)
+			s.file.stats.AddPhysicalScans(1)
 		}
 		return false
 	}
@@ -104,7 +104,7 @@ func (s *bytewiseScanner) next() bool {
 	s.rec.Neighbors = s.scratch
 	s.read++
 	if s.file.stats != nil {
-		s.file.stats.RecordsRead++
+		s.file.stats.AddRecordsRead(1)
 	}
 	return true
 }
@@ -154,7 +154,7 @@ func (s *bytewiseScanner) nextCompressed() bool {
 	s.rec.Neighbors = s.scratch
 	s.read++
 	if s.file.stats != nil {
-		s.file.stats.RecordsRead++
+		s.file.stats.AddRecordsRead(1)
 	}
 	return true
 }
@@ -181,15 +181,15 @@ func readUint32s(r io.Reader, dst []uint32) error {
 // statsReader counts bytes and buffered refills.
 type statsReader struct {
 	r     io.Reader
-	stats *Stats
+	stats *Counters
 }
 
 func (sr statsReader) Read(p []byte) (int, error) {
 	n, err := sr.r.Read(p)
 	if sr.stats != nil {
-		sr.stats.BytesRead += uint64(n)
+		sr.stats.AddBytesRead(uint64(n))
 		if n > 0 {
-			sr.stats.BlocksRead++
+			sr.stats.AddBlocksRead(1)
 		}
 	}
 	return n, err

@@ -1,5 +1,7 @@
 package gio
 
+import "context"
+
 // Opportunistic partition-plan capture: building the cut table (see
 // Partitions) normally costs one dedicated side scan through a separate file
 // handle. But any full sequential scan already decodes every record in scan
@@ -13,7 +15,11 @@ package gio
 
 // HasPartitionPlan reports whether the partition cut table is already cached,
 // i.e. whether Partitions can answer without a planning side scan.
-func (g *File) HasPartitionPlan() bool { return g.cuts != nil }
+func (g *File) HasPartitionPlan() bool {
+	g.plan.mu.Lock()
+	defer g.plan.mu.Unlock()
+	return g.plan.cuts != nil
+}
 
 // PlanCaptureViable reports whether an opportunistic capture could still
 // install a plan: no plan cached yet, no cached planning failure, and no
@@ -21,7 +27,9 @@ func (g *File) HasPartitionPlan() bool { return g.cuts != nil }
 // planning side scan (the executor's cold start) consult this to decide
 // between capturing and planning.
 func (g *File) PlanCaptureViable() bool {
-	return g.cuts == nil && g.cutsErr == nil && !g.captureFailed
+	g.plan.mu.Lock()
+	defer g.plan.mu.Unlock()
+	return g.plan.cuts == nil && g.plan.cutsErr == nil && !g.plan.captureFailed
 }
 
 // ForEachBatchWithPlanCapture runs one full sequential scan exactly like
@@ -31,11 +39,17 @@ func (g *File) PlanCaptureViable() bool {
 // computed offsets check out. fn observes nothing of the capture; a scan
 // aborted by fn or by a decode error installs nothing.
 func (g *File) ForEachBatchWithPlanCapture(fn func([]Record) error) error {
-	if g.cuts != nil || g.cutsErr != nil || g.captureFailed {
-		return g.ForEachBatch(fn)
+	return g.ForEachBatchWithPlanCaptureCtx(nil, fn)
+}
+
+// ForEachBatchWithPlanCaptureCtx is ForEachBatchWithPlanCapture bound to a
+// context (see ForEachBatchCtx); nil behaves identically.
+func (g *File) ForEachBatchWithPlanCaptureCtx(ctx context.Context, fn func([]Record) error) error {
+	if !g.PlanCaptureViable() {
+		return g.ForEachBatchCtx(ctx, fn)
 	}
 	cb := g.newCutBuilder()
-	err := g.ForEachBatch(func(batch []Record) error {
+	err := g.ForEachBatchCtx(ctx, func(batch []Record) error {
 		cb.observe(batch)
 		return fn(batch)
 	})
@@ -54,12 +68,19 @@ func (g *File) ForEachBatchWithPlanCapture(fn func([]Record) error) error {
 // the scan, and a matching total therefore implies every interior cut point
 // is correct. Trailing bytes after the last record fail the check; the
 // capture is then abandoned for the file's lifetime and planning falls back
-// to Partitions' self-checking side scan.
+// to Partitions' self-checking side scan. When concurrent views both capture
+// (each completed a full scan before either installed), the first install
+// wins; the captures are identical by construction.
 func (g *File) installCapturedPlan(cb *cutBuilder) {
 	size, err := g.SizeBytes()
-	if err != nil || cb.read != g.header.Vertices || cb.off != size {
-		g.captureFailed = true
+	g.plan.mu.Lock()
+	defer g.plan.mu.Unlock()
+	if g.plan.cuts != nil || g.plan.cutsErr != nil || g.plan.captureFailed {
 		return
 	}
-	g.cuts = cb.table()
+	if err != nil || cb.read != g.header.Vertices || cb.off != size {
+		g.plan.captureFailed = true
+		return
+	}
+	g.plan.cuts = cb.table()
 }

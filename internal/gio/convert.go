@@ -2,6 +2,7 @@ package gio
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -16,7 +17,7 @@ import (
 // order). Within each record, neighbors are ordered by ascending degree with
 // ID as a tiebreak, as Section 4.1 of the paper prescribes. flags should
 // include FlagDegreeSorted when order is an ascending-degree order.
-func WriteGraph(path string, g *graph.Graph, order []uint32, flags uint32, stats *Stats) error {
+func WriteGraph(path string, g *graph.Graph, order []uint32, flags uint32, stats *Counters) error {
 	w, err := NewWriter(path, flags, 0, stats)
 	if err != nil {
 		return err
@@ -75,21 +76,28 @@ func DegreeOrder(g *graph.Graph) []uint32 {
 
 // WriteGraphSorted writes g to path in ascending-degree scan order and sets
 // FlagDegreeSorted.
-func WriteGraphSorted(path string, g *graph.Graph, stats *Stats) error {
+func WriteGraphSorted(path string, g *graph.Graph, stats *Counters) error {
 	return WriteGraph(path, g, DegreeOrder(g), FlagDegreeSorted, stats)
 }
 
 // LoadGraph reads an entire adjacency file into memory. Intended for small
 // graphs, the DynamicUpdate baseline and tests; semi-external algorithms use
 // File.Scan instead.
-func LoadGraph(path string, stats *Stats) (*graph.Graph, error) {
+func LoadGraph(path string, stats *Counters) (*graph.Graph, error) {
+	return LoadGraphCtx(nil, path, stats)
+}
+
+// LoadGraphCtx is LoadGraph bound to a context: a canceled or expired ctx
+// stops the load within one batch (see File.ForEachBatchCtx). A nil ctx
+// behaves exactly like LoadGraph.
+func LoadGraphCtx(ctx context.Context, path string, stats *Counters) (*graph.Graph, error) {
 	f, err := Open(path, 0, stats)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	b := graph.NewBuilder(f.NumVertices())
-	err = f.ForEachBatch(func(batch []Record) error {
+	err = f.ForEachBatchCtx(ctx, func(batch []Record) error {
 		for _, r := range batch {
 			for _, n := range r.Neighbors {
 				b.AddEdge(r.ID, n)
@@ -179,7 +187,7 @@ func ReadEdgeListText(r io.Reader) (*graph.Graph, error) {
 
 // ImportEdgeListFile reads a text edge list from src and writes a
 // degree-sorted adjacency file to dst.
-func ImportEdgeListFile(src, dst string, stats *Stats) error {
+func ImportEdgeListFile(src, dst string, stats *Counters) error {
 	f, err := os.Open(src)
 	if err != nil {
 		return fmt.Errorf("gio: open %s: %w", src, err)

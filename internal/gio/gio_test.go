@@ -32,7 +32,7 @@ func randomGraph(seed int64, n, m int) *graph.Graph {
 func TestRoundTrip(t *testing.T) {
 	g := randomGraph(1, 50, 120)
 	path := tmpPath(t)
-	var stats Stats
+	var stats Counters
 	if err := WriteGraph(path, g, nil, 0, &stats); err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if stats.BytesWritten == 0 || stats.BytesRead == 0 {
+	if snap := stats.Snapshot(); snap.BytesWritten == 0 || snap.BytesRead == 0 {
 		t.Fatal("stats not accumulated")
 	}
 }
@@ -152,7 +152,7 @@ func TestScanCounting(t *testing.T) {
 	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	var stats Stats
+	var stats Counters
 	f, err := Open(path, 0, &stats)
 	if err != nil {
 		t.Fatal(err)
@@ -163,11 +163,11 @@ func TestScanCounting(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if stats.Scans != 3 {
-		t.Fatalf("scans = %d, want 3", stats.Scans)
+	if snap := stats.Snapshot(); snap.Scans != 3 {
+		t.Fatalf("scans = %d, want 3", snap.Scans)
 	}
-	if stats.RecordsRead != uint64(3*g.NumVertices()) {
-		t.Fatalf("records = %d, want %d", stats.RecordsRead, 3*g.NumVertices())
+	if snap := stats.Snapshot(); snap.RecordsRead != uint64(3*g.NumVertices()) {
+		t.Fatalf("records = %d, want %d", snap.RecordsRead, 3*g.NumVertices())
 	}
 }
 

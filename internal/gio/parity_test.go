@@ -33,10 +33,11 @@ func (o scanOutcome) errString() string {
 
 // runScan scans path with the given engine ("pipelined", "batch" or
 // "bytewise") and block size, collecting records, final error and stats.
-func runScan(t testing.TB, path string, engine string, blockSize int) scanOutcome {
+func runScan(t testing.TB, path string, engine string, blockSize int) (out scanOutcome) {
 	t.Helper()
-	var out scanOutcome
-	f, err := Open(path, blockSize, &out.stats)
+	var counters Counters
+	f, err := Open(path, blockSize, &counters)
+	defer func() { out.stats = counters.Snapshot() }()
 	if err != nil {
 		out.err = err
 		return out

@@ -143,12 +143,16 @@ func (g *File) buildCutTable() (*cutTable, error) {
 // split at batch granularity; an empty file yields none. A malformed file
 // fails here with the same error a sequential scan would report, which is
 // how the executor detects that it must fall back to — and exactly
-// reproduce — the sequential path.
+// reproduce — the sequential path. The plan cache is shared by every view of
+// the file and guarded by its mutex; a first-use planning scan is
+// single-flight (concurrent callers wait for it).
 func (g *File) Partitions(parts int) ([]Partition, error) {
-	if g.cutsErr != nil {
-		return nil, g.cutsErr
+	g.plan.mu.Lock()
+	defer g.plan.mu.Unlock()
+	if g.plan.cutsErr != nil {
+		return nil, g.plan.cutsErr
 	}
-	if g.cuts == nil {
+	if g.plan.cuts == nil {
 		ct, err := g.buildCutTable()
 		if err != nil {
 			// Cache only format errors: the file itself is malformed and
@@ -156,13 +160,13 @@ func (g *File) Partitions(parts int) ([]Partition, error) {
 			// momentary read error on the side handle) must not pin the
 			// file to sequential scans for its whole lifetime.
 			if errors.Is(err, ErrBadFormat) {
-				g.cutsErr = err
+				g.plan.cutsErr = err
 			}
 			return nil, err
 		}
-		g.cuts = ct
+		g.plan.cuts = ct
 	}
-	ct := g.cuts
+	ct := g.plan.cuts
 	last := len(ct.offs) - 1
 	if last < 1 {
 		return nil, nil

@@ -105,7 +105,7 @@ func TestPartitionsPlanNotCounted(t *testing.T) {
 	g := randomGraph(3, 400, 1500)
 	path := tmpPath(t)
 	writePartitionFile(t, path, g, false)
-	var stats Stats
+	var stats Counters
 	f, err := Open(path, 0, &stats)
 	if err != nil {
 		t.Fatal(err)
@@ -114,8 +114,8 @@ func TestPartitionsPlanNotCounted(t *testing.T) {
 	if _, err := f.Partitions(4); err != nil {
 		t.Fatal(err)
 	}
-	if stats != (Stats{}) {
-		t.Fatalf("planning scan leaked into stats: %+v", stats)
+	if snap := stats.Snapshot(); snap != (Stats{}) {
+		t.Fatalf("planning scan leaked into stats: %+v", snap)
 	}
 }
 
@@ -126,7 +126,7 @@ func TestScanPartitionRecords(t *testing.T) {
 		g := randomGraph(9, 2500, 15000)
 		path := tmpPath(t)
 		writePartitionFile(t, path, g, compressed)
-		var stats Stats
+		var stats Counters
 		f, err := Open(path, 0, &stats)
 		if err != nil {
 			t.Fatal(err)
@@ -164,8 +164,8 @@ func TestScanPartitionRecords(t *testing.T) {
 		if seen != uint64(g.NumVertices()) {
 			t.Fatalf("compressed=%v: partition scans yielded %d records, want %d", compressed, seen, g.NumVertices())
 		}
-		if stats != (Stats{}) {
-			t.Fatalf("compressed=%v: detached scans leaked into stats: %+v", compressed, stats)
+		if snap := stats.Snapshot(); snap != (Stats{}) {
+			t.Fatalf("compressed=%v: detached scans leaked into stats: %+v", compressed, snap)
 		}
 		f.Close()
 	}
@@ -185,7 +185,7 @@ func TestPartitionsCached(t *testing.T) {
 	if _, err := f.Partitions(3); err != nil {
 		t.Fatal(err)
 	}
-	ct := f.cuts
+	ct := f.plan.cuts
 	if ct == nil {
 		t.Fatal("cut table not cached")
 	}
@@ -193,7 +193,7 @@ func TestPartitionsCached(t *testing.T) {
 		if _, err := f.Partitions(parts); err != nil {
 			t.Fatal(err)
 		}
-		if f.cuts != ct {
+		if f.plan.cuts != ct {
 			t.Fatalf("cut table rebuilt for parts=%d", parts)
 		}
 	}

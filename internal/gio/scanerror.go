@@ -1,0 +1,23 @@
+package gio
+
+import "fmt"
+
+// ScanError wraps the error that stopped a sequential scan — typically a
+// context cancellation or deadline — together with the scan position, so a
+// caller aborting a multi-minute pass learns exactly how far it got. It
+// unwraps to the underlying cause: errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) see through it.
+type ScanError struct {
+	// Records is the number of records the scan delivered before stopping.
+	Records uint64
+	// Total is the number of records a complete scan would deliver.
+	Total uint64
+	// Err is the cause, e.g. ctx.Err().
+	Err error
+}
+
+func (e *ScanError) Error() string {
+	return fmt.Sprintf("scan stopped at record %d of %d: %v", e.Records, e.Total, e.Err)
+}
+
+func (e *ScanError) Unwrap() error { return e.Err }

@@ -1,10 +1,12 @@
 package gio
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // File is an open adjacency file supporting repeated sequential scans.
@@ -12,19 +14,38 @@ import (
 // Scan reads the file front to back through the block-pipelined engine —
 // a background goroutine prefetches the next block while the current one
 // decodes — with no seeks other than the implicit rewind between scans.
+//
+// One File value supports one scan at a time (a new Scan supersedes an
+// unfinished one). Concurrent runs each take their own view of the file via
+// WithCounters: views share the descriptor (all reads are positional) and
+// the partition-plan cache, but have independent active-scan slots and
+// account into independent Counters, so any number of views may scan
+// concurrently.
 type File struct {
 	f         *os.File
 	path      string
 	header    Header
 	blockSize int
-	stats     *Stats
+	stats     *Counters
 	active    *prefetcher // the current scan's block pipeline, if any
 
-	// Cached partition-planning cut table (see Partitions). Captured
-	// opportunistically during the first full counted sequential scan
-	// (ForEachBatchWithPlanCapture), or built lazily by the first Partitions
-	// call with one side scan through a separate file handle; reused for
-	// every worker count afterwards.
+	// plan is the partition-planning cache (see Partitions), shared by every
+	// view of the file and guarded by its own mutex.
+	plan *planState
+
+	// view marks a WithCounters view: Close then only stops the view's
+	// active scan, never the shared descriptor.
+	view bool
+}
+
+// planState caches the partition-planning cut table (see Partitions).
+// Captured opportunistically during the first full counted sequential scan
+// (ForEachBatchWithPlanCapture), or built lazily by the first Partitions
+// call with one side scan through a separate file handle; reused for every
+// worker count afterwards. The mutex makes the cache safe for concurrent
+// views of one file.
+type planState struct {
+	mu      sync.Mutex
 	cuts    *cutTable
 	cutsErr error
 	// captureFailed records a capture whose computed offsets did not match
@@ -36,7 +57,7 @@ type File struct {
 
 // Open opens an adjacency file for scanning. stats may be nil; blockSize
 // ≤ 0 selects DefaultBlockSize.
-func Open(path string, blockSize int, stats *Stats) (*File, error) {
+func Open(path string, blockSize int, stats *Counters) (*File, error) {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
@@ -54,7 +75,21 @@ func Open(path string, blockSize int, stats *Stats) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &File{f: f, path: path, header: h, blockSize: blockSize, stats: stats}, nil
+	return &File{f: f, path: path, header: h, blockSize: blockSize, stats: stats, plan: &planState{}}, nil
+}
+
+// WithCounters returns a view of the file that accounts its I/O into c
+// instead of the file's own counters. The view shares the descriptor (reads
+// are positional) and the partition-plan cache; its active-scan slot is its
+// own, so scans on distinct views run concurrently. Closing a view releases
+// only the view's in-flight scan, never the shared descriptor — the original
+// File's Close does that.
+func (g *File) WithCounters(c *Counters) *File {
+	v := *g
+	v.stats = c
+	v.active = nil
+	v.view = true
+	return &v
 }
 
 // Header returns the file header.
@@ -69,8 +104,8 @@ func (g *File) NumVertices() int { return int(g.header.Vertices) }
 // NumEdges returns the undirected edge count from the header.
 func (g *File) NumEdges() uint64 { return g.header.Edges }
 
-// Stats returns the shared I/O statistics, which may be nil.
-func (g *File) Stats() *Stats { return g.stats }
+// Stats returns the shared I/O counters, which may be nil.
+func (g *File) Stats() *Counters { return g.stats }
 
 // BlockSize returns the buffered-I/O block size used for scans.
 func (g *File) BlockSize() int { return g.blockSize }
@@ -84,9 +119,14 @@ func (g *File) SizeBytes() (int64, error) {
 	return fi.Size(), nil
 }
 
-// Close closes the underlying file, stopping any in-flight prefetch.
+// Close closes the underlying file, stopping any in-flight prefetch. On a
+// WithCounters view it only stops the view's in-flight scan; the descriptor
+// stays open until the original File is closed.
 func (g *File) Close() error {
 	g.stopActive()
+	if g.view {
+		return nil
+	}
 	return g.f.Close()
 }
 
@@ -147,6 +187,12 @@ type Scanner struct {
 	// can run concurrently on worker goroutines.
 	detached bool
 
+	// ctx, when non-nil, cancels the scan between batches: the next
+	// fillBatch fails with the ctx error wrapped in a ScanError carrying the
+	// scan position, and the prefetcher observes ctx.Done directly so a
+	// read-ahead in flight stops too.
+	ctx context.Context
+
 	err  error
 	done bool
 }
@@ -155,12 +201,25 @@ type Scanner struct {
 // one sequential scan in the file's Stats when the scan completes. Starting
 // a new Scan stops the prefetch pipeline of any previous unfinished one.
 func (g *File) Scan() (*Scanner, error) {
+	return g.ScanCtx(nil)
+}
+
+// ScanCtx is Scan bound to a context: when ctx is canceled or its deadline
+// passes, the scan stops within one batch, Err reports the ctx error wrapped
+// in a ScanError with the scan position, and the prefetch pipeline shuts
+// down. A nil ctx scans without cancellation, exactly like Scan.
+func (g *File) ScanCtx(ctx context.Context) (*Scanner, error) {
 	g.stopActive()
-	pf := newPrefetcher(g.f, HeaderSize, g.blockSize)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	pf := newPrefetcher(g.f, HeaderSize, g.blockSize, done)
 	g.active = pf
 	return &Scanner{
 		file:    g,
 		pf:      pf,
+		ctx:     ctx,
 		limit:   g.header.Vertices,
 		baseOff: HeaderSize,
 		recs:    make([]Record, 0, batchMaxRecords),
@@ -179,7 +238,7 @@ func (g *File) Scan() (*Scanner, error) {
 func (g *File) ScanPartition(p Partition) *Scanner {
 	return &Scanner{
 		file:     g,
-		pf:       newPrefetcher(g.f, p.StartOffset, g.blockSize),
+		pf:       newPrefetcher(g.f, p.StartOffset, g.blockSize, nil),
 		read:     p.StartRecord,
 		limit:    p.StartRecord + p.Records,
 		baseOff:  p.StartOffset,
@@ -259,6 +318,12 @@ func (s *Scanner) fillBatch() {
 	if s.err != nil || s.done {
 		return
 	}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.fail(&ScanError{Records: s.read, Total: s.limit, Err: err})
+			return
+		}
+	}
 	if s.read == s.limit {
 		s.finish()
 		return
@@ -270,7 +335,7 @@ func (s *Scanner) fillBatch() {
 		s.fillRaw()
 	}
 	if s.file.stats != nil && !s.detached {
-		s.file.stats.RecordsRead += uint64(len(s.recs))
+		s.file.stats.AddRecordsRead(uint64(len(s.recs)))
 	}
 }
 
@@ -367,9 +432,17 @@ func (s *Scanner) more() bool {
 		return false
 	}
 	blk := s.pf.next()
+	if blk.err == errScanCanceled && s.ctx != nil {
+		// The pipeline's done channel (the scan context) fired while the
+		// decoder was waiting for bytes: surface the context's error with
+		// the scan position, not a decode failure.
+		s.ioErr = blk.err
+		s.fail(&ScanError{Records: s.read, Total: s.limit, Err: s.ctx.Err()})
+		return false
+	}
 	if st := s.file.stats; st != nil && !s.detached && len(blk.buf) > 0 {
-		st.BytesRead += uint64(len(blk.buf))
-		st.BlocksRead++
+		st.AddBytesRead(uint64(len(blk.buf)))
+		st.AddBlocksRead(1)
 	}
 	s.fetched += uint64(len(blk.buf))
 	if blk.err != nil {
@@ -405,8 +478,8 @@ func (s *Scanner) finish() {
 	}
 	s.done = true
 	if s.file.stats != nil && !s.detached {
-		s.file.stats.Scans++
-		s.file.stats.PhysicalScans++
+		s.file.stats.AddScans(1)
+		s.file.stats.AddPhysicalScans(1)
 	}
 	s.close()
 }
@@ -466,23 +539,20 @@ func AppendRawRecord(dst []byte, id uint32, neighbors []uint32) []byte {
 
 // ForEach runs one full sequential scan, invoking fn for every record.
 func (g *File) ForEach(fn func(Record) error) error {
-	sc, err := g.Scan()
-	if err != nil {
-		return err
-	}
-	defer sc.close()
-	for {
-		batch := sc.NextBatch()
-		if batch == nil {
-			break
-		}
+	return g.ForEachCtx(nil, fn)
+}
+
+// ForEachCtx is ForEach bound to a context (see ScanCtx); nil behaves like
+// ForEach.
+func (g *File) ForEachCtx(ctx context.Context, fn func(Record) error) error {
+	return g.ForEachBatchCtx(ctx, func(batch []Record) error {
 		for i := range batch {
 			if err := fn(batch[i]); err != nil {
 				return err
 			}
 		}
-	}
-	return sc.Err()
+		return nil
+	})
 }
 
 // ForEachBatch runs one full sequential scan, invoking fn for every decoded
@@ -490,7 +560,15 @@ func (g *File) ForEach(fn func(Record) error) error {
 // algorithms: one callback per batch instead of per record, with the batch's
 // neighbor lists decoded back to back in one arena.
 func (g *File) ForEachBatch(fn func([]Record) error) error {
-	sc, err := g.Scan()
+	return g.ForEachBatchCtx(nil, fn)
+}
+
+// ForEachBatchCtx is ForEachBatch bound to a context: a canceled or expired
+// ctx stops the scan within one batch, shuts the prefetch pipeline down, and
+// returns the ctx error wrapped in a ScanError carrying the scan position. A
+// nil ctx behaves exactly like ForEachBatch.
+func (g *File) ForEachBatchCtx(ctx context.Context, fn func([]Record) error) error {
+	sc, err := g.ScanCtx(ctx)
 	if err != nil {
 		return err
 	}

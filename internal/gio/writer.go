@@ -17,13 +17,13 @@ type Writer struct {
 	header  Header
 	records uint64
 	degSum  uint64
-	stats   *Stats
+	stats   *Counters
 	err     error
 }
 
 // NewWriter creates (truncating) an adjacency file at path. flags are format
 // flags such as FlagDegreeSorted. stats may be nil.
-func NewWriter(path string, flags uint32, blockSize int, stats *Stats) (*Writer, error) {
+func NewWriter(path string, flags uint32, blockSize int, stats *Counters) (*Writer, error) {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
@@ -87,7 +87,7 @@ func (w *Writer) Close() error {
 		return fmt.Errorf("gio: rewrite header: %w", err)
 	}
 	if w.stats != nil {
-		w.stats.BytesWritten += HeaderSize
+		w.stats.AddBytesWritten(HeaderSize)
 	}
 	return w.f.Close()
 }
@@ -96,10 +96,10 @@ func (w *Writer) Close() error {
 // into Stats.
 type countingWriter struct {
 	*bufio.Writer
-	stats *Stats
+	stats *Counters
 }
 
-func newCountingWriter(w io.Writer, blockSize int, stats *Stats) *countingWriter {
+func newCountingWriter(w io.Writer, blockSize int, stats *Counters) *countingWriter {
 	cw := &countingWriter{stats: stats}
 	cw.Writer = bufio.NewWriterSize(statsWriter{w, stats}, blockSize)
 	return cw
@@ -107,14 +107,14 @@ func newCountingWriter(w io.Writer, blockSize int, stats *Stats) *countingWriter
 
 type statsWriter struct {
 	w     io.Writer
-	stats *Stats
+	stats *Counters
 }
 
 func (sw statsWriter) Write(p []byte) (int, error) {
 	n, err := sw.w.Write(p)
 	if sw.stats != nil {
-		sw.stats.BytesWritten += uint64(n)
-		sw.stats.BlocksWritten++
+		sw.stats.AddBytesWritten(uint64(n))
+		sw.stats.AddBlocksWritten(1)
 	}
 	return n, err
 }

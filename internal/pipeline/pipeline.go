@@ -28,6 +28,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/gio"
@@ -49,7 +50,7 @@ var ErrStopScan = errors.New("pipeline: stop scan")
 // the layering.
 type Source interface {
 	NumVertices() int
-	Stats() *gio.Stats
+	Stats() *gio.Counters
 	ForEachBatch(fn func([]gio.Record) error) error
 	ForEach(fn func(gio.Record) error) error
 }
@@ -59,6 +60,20 @@ type Source interface {
 // table behind when none is cached yet.
 type planCapturingSource interface {
 	ForEachBatchWithPlanCapture(fn func([]gio.Record) error) error
+}
+
+// ctxSource is the optional context-aware scan capability (gio.File and
+// exec.Executor both have it): the engine itself observes cancellation —
+// the sequential engine's prefetcher stops reading ahead, the executor
+// drains its worker pool — instead of relying only on the scheduler's
+// between-batch checks.
+type ctxSource interface {
+	ForEachBatchCtx(ctx context.Context, fn func([]gio.Record) error) error
+}
+
+// ctxPlanCapturingSource combines both capabilities.
+type ctxPlanCapturingSource interface {
+	ForEachBatchWithPlanCaptureCtx(ctx context.Context, fn func([]gio.Record) error) error
 }
 
 // Pass is one logical pass over the adjacency file: a batch callback plus
@@ -185,6 +200,21 @@ type Options struct {
 	// scan, in declaration order. This is the accounting-transparent
 	// baseline the parity tests compare fused execution against.
 	Unfused bool
+
+	// Ctx cancels scheduler runs: it is checked between physical scans and
+	// between batches within a scan, and handed to the scan engine itself
+	// when the source is context-aware (so the prefetcher and the parallel
+	// executor's workers stop too). A run aborted mid-scan returns the ctx
+	// error wrapped in a gio.ScanError carrying the scan position; an
+	// aborted scan is not counted in Stats, exactly like a consumer
+	// abandoning a plain ForEachBatch. A nil Ctx never cancels.
+	Ctx context.Context
+
+	// Progress, when non-nil, observes every physical scan the scheduler
+	// runs: after each delivered batch it receives the records delivered so
+	// far in the current scan and the file's total record count. Callbacks
+	// run synchronously on the scan goroutine — keep them cheap.
+	Progress func(records, total uint64)
 }
 
 // Scheduler collects logical passes and runs them over one Source.
@@ -264,10 +294,16 @@ func joinable(group []Pass, p Pass) bool {
 // Run plans the registered passes and executes the physical scans in order.
 // It returns the first error: a Batch error aborts its physical scan
 // immediately (later groups never run), a Done error stops before later Done
-// hooks and groups. On success, every pass's Batch saw every batch and every
+// hooks and groups, and a canceled Options.Ctx aborts between scans and
+// between batches. On success, every pass's Batch saw every batch and every
 // Done ran.
 func (s *Scheduler) Run() error {
 	for _, group := range s.Plan() {
+		if ctx := s.opts.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if err := s.runGroup(group); err != nil {
 			return err
 		}
@@ -282,7 +318,14 @@ func (s *Scheduler) Run() error {
 func (s *Scheduler) runGroup(group []Pass) error {
 	stopped := make([]bool, len(group))
 	remaining := len(group)
+	total := uint64(s.src.NumVertices())
+	var delivered uint64
 	fn := func(batch []gio.Record) error {
+		if ctx := s.opts.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return &gio.ScanError{Records: delivered, Total: total, Err: err}
+			}
+		}
 		for i := range group {
 			if stopped[i] {
 				continue
@@ -298,6 +341,10 @@ func (s *Scheduler) runGroup(group []Pass) error {
 				return err
 			}
 		}
+		delivered += uint64(len(batch))
+		if s.opts.Progress != nil {
+			s.opts.Progress(delivered, total)
+		}
 		return nil
 	}
 	err := s.scan(fn)
@@ -312,7 +359,7 @@ func (s *Scheduler) runGroup(group []Pass) error {
 	// and counted nothing — exactly like a consumer abandoning a plain
 	// ForEachBatch mid-file.
 	if st := s.src.Stats(); st != nil && err == nil {
-		st.Scans += len(group) - 1 - carriedInGroup(group)
+		st.AddScans(len(group) - 1 - carriedInGroup(group))
 	}
 	for i := range group {
 		if group[i].Done != nil {
@@ -353,15 +400,25 @@ func carriedInGroup(group []Pass) int {
 // observable. No physical scan is involved — that is the point.
 func ResolveCarried(src Source) {
 	if st := src.Stats(); st != nil {
-		st.Scans++
-		st.CarriedScans++
+		st.AddScans(1)
+		st.AddCarriedScans(1)
 	}
 }
 
 // scan runs one physical scan, preferring the source's plan-capturing
 // variant so the first full scan of a file doubles as its partition-planning
-// scan.
+// scan, and the context-aware variants when the run has a context — the
+// engine then observes cancellation itself (prefetcher, worker pool), not
+// just the scheduler's between-batch checks.
 func (s *Scheduler) scan(fn func([]gio.Record) error) error {
+	if ctx := s.opts.Ctx; ctx != nil {
+		if c, ok := s.src.(ctxPlanCapturingSource); ok {
+			return c.ForEachBatchWithPlanCaptureCtx(ctx, fn)
+		}
+		if c, ok := s.src.(ctxSource); ok {
+			return c.ForEachBatchCtx(ctx, fn)
+		}
+	}
 	if c, ok := s.src.(planCapturingSource); ok {
 		return c.ForEachBatchWithPlanCapture(fn)
 	}

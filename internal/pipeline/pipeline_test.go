@@ -35,9 +35,9 @@ func writeTestFile(t testing.TB, n int) string {
 	return path
 }
 
-func open(t testing.TB, path string) (*gio.File, *gio.Stats) {
+func open(t testing.TB, path string) (*gio.File, *gio.Counters) {
 	t.Helper()
-	stats := &gio.Stats{}
+	stats := &gio.Counters{}
 	f, err := gio.Open(path, 0, stats)
 	if err != nil {
 		t.Fatal(err)
@@ -84,15 +84,15 @@ func TestFusionAccounting(t *testing.T) {
 		if len(order) != 3 || order[0] != "mark" || order[1] != "stats-a" || order[2] != "stats-b" {
 			t.Fatalf("unfused=%v: first-batch order %v", unfused, order)
 		}
-		if stats.Scans != 3 {
-			t.Fatalf("unfused=%v: logical scans = %d, want 3", unfused, stats.Scans)
+		if stats.Snapshot().Scans != 3 {
+			t.Fatalf("unfused=%v: logical scans = %d, want 3", unfused, stats.Snapshot().Scans)
 		}
 		wantPhys := 1
 		if unfused {
 			wantPhys = 3
 		}
-		if stats.PhysicalScans != wantPhys {
-			t.Fatalf("unfused=%v: physical scans = %d, want %d", unfused, stats.PhysicalScans, wantPhys)
+		if stats.Snapshot().PhysicalScans != wantPhys {
+			t.Fatalf("unfused=%v: physical scans = %d, want %d", unfused, stats.Snapshot().PhysicalScans, wantPhys)
 		}
 	}
 }
@@ -201,12 +201,12 @@ func TestCarriedAccounting(t *testing.T) {
 	}
 	// The scan counts once logically (the producer), once physically; the
 	// carried pass has not been accounted yet.
-	if stats.Scans != 1 || stats.PhysicalScans != 1 || stats.CarriedScans != 0 {
-		t.Fatalf("after collection: %+v, want scans=1 physical=1 carried=0", *stats)
+	if stats.Snapshot().Scans != 1 || stats.Snapshot().PhysicalScans != 1 || stats.Snapshot().CarriedScans != 0 {
+		t.Fatalf("after collection: %+v, want scans=1 physical=1 carried=0", stats.Snapshot())
 	}
 	ResolveCarried(f)
-	if stats.Scans != 2 || stats.PhysicalScans != 1 || stats.CarriedScans != 1 {
-		t.Fatalf("after resolve: %+v, want scans=2 physical=1 carried=1", *stats)
+	if stats.Snapshot().Scans != 2 || stats.Snapshot().PhysicalScans != 1 || stats.Snapshot().CarriedScans != 1 {
+		t.Fatalf("after resolve: %+v, want scans=2 physical=1 carried=1", stats.Snapshot())
 	}
 }
 
@@ -266,8 +266,8 @@ func TestErrStopScan(t *testing.T) {
 	if seen == 0 || seen >= n {
 		t.Fatalf("lone stopping pass saw %d of %d records, want one batch", seen, n)
 	}
-	if stats.Scans != 0 || stats.PhysicalScans != 0 {
-		t.Fatalf("aborted scan was counted: %+v", *stats)
+	if stats.Snapshot().Scans != 0 || stats.Snapshot().PhysicalScans != 0 {
+		t.Fatalf("aborted scan was counted: %+v", stats.Snapshot())
 	}
 
 	f2, stats2 := open(t, path)
@@ -281,8 +281,8 @@ func TestErrStopScan(t *testing.T) {
 	if total != n {
 		t.Fatalf("partner pass saw %d of %d records", total, n)
 	}
-	if stats2.Scans != 2 || stats2.PhysicalScans != 1 {
-		t.Fatalf("fused scan accounting: %+v", *stats2)
+	if snap := stats2.Snapshot(); snap.Scans != 2 || snap.PhysicalScans != 1 {
+		t.Fatalf("fused scan accounting: %+v", snap)
 	}
 }
 

@@ -33,17 +33,25 @@
 //	if err != nil { ... }
 //	defer f.Close()
 //
-//	greedy, _ := f.Greedy()
-//	better, _ := f.TwoKSwap(greedy, mis.SwapOptions{})
+//	solver := mis.NewSolver(f)
+//	greedy, _ := solver.Greedy(ctx)
+//	better, _ := solver.TwoKSwap(ctx, greedy)
 //	fmt.Println(better.Size, better.Vertices())
+//
+// The Solver is the context-first entry point: every call takes a
+// context.Context that cancels a multi-minute scan within one decoded
+// batch, functional options tune the run (MaxRounds, Workers, …) and attach
+// observers (OnProgress, OnRound), and concurrent solvers may share one
+// File — each run accounts into its own stat scope that merges into the
+// file's totals. The context-free File methods (f.Greedy(),
+// f.TwoKSwap(seed, opts), …) remain as thin context.Background wrappers.
 package mis
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/gio"
-	"repro/internal/graph"
 )
 
 // Algorithm names one of the six algorithms of the paper's evaluation
@@ -100,30 +108,18 @@ func (o SwapOptions) internal() core.SwapOptions {
 
 // Solve runs the named algorithm on f. Swap algorithms are seeded with a
 // fresh Greedy result; use the dedicated methods to control the seed.
+// AlgBaseline on a degree-sorted file is refused (see ErrBaselineOnSorted);
+// construct a Solver with BaselineOnSorted to opt in.
 func (f *File) Solve(alg Algorithm, opts SwapOptions) (*Result, error) {
-	switch alg {
-	case AlgGreedy:
-		return f.Greedy()
-	case AlgBaseline:
-		return f.Greedy() // identical scan; the file's order decides
-	case AlgOneKSwap:
-		seed, err := f.Greedy()
-		if err != nil {
-			return nil, err
-		}
-		return f.OneKSwap(seed, opts)
-	case AlgTwoKSwap:
-		seed, err := f.Greedy()
-		if err != nil {
-			return nil, err
-		}
-		return f.TwoKSwap(seed, opts)
-	case AlgDynamicUpdate:
-		return f.DynamicUpdate()
-	case AlgExternalMaximal:
-		return f.ExternalMaximal()
-	}
-	return nil, fmt.Errorf("mis: unknown algorithm %q", alg)
+	return f.SolveCtx(context.Background(), alg, opts)
+}
+
+// SolveCtx is Solve bound to a context: cancellation or deadline expiry
+// stops the run within one decoded batch of the current scan, and the error
+// wraps ctx.Err() together with the scan position. Equivalent to
+// NewSolver(f, ...).Solve(ctx, alg) with the SwapOptions carried over.
+func (f *File) SolveCtx(ctx context.Context, alg Algorithm, opts SwapOptions) (*Result, error) {
+	return opts.solver(f).Solve(ctx, alg)
 }
 
 // fromCore converts an internal result.
@@ -151,9 +147,4 @@ func roundIO(rounds []gio.Stats) []IOStats {
 		out[i] = IOStats(r)
 	}
 	return out
-}
-
-// loadWhole reads the entire file into memory for the in-memory baseline.
-func loadWhole(f *File) (*graph.Graph, error) {
-	return gio.LoadGraph(f.inner.Path(), &f.stats)
 }

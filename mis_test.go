@@ -1,6 +1,8 @@
 package mis_test
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -115,6 +117,14 @@ func TestSolveAllAlgorithms(t *testing.T) {
 	defer f.Close()
 	for _, alg := range mis.Algorithms() {
 		r, err := f.Solve(alg, mis.SwapOptions{})
+		if alg == mis.AlgBaseline {
+			// On a degree-sorted file the baseline is refused unless the
+			// caller opts in explicitly.
+			if !errors.Is(err, mis.ErrBaselineOnSorted) {
+				t.Fatalf("baseline on sorted file: err = %v, want ErrBaselineOnSorted", err)
+			}
+			r, err = mis.NewSolver(f, mis.BaselineOnSorted()).Solve(context.Background(), alg)
+		}
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
