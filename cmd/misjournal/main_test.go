@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gio"
+	"repro/internal/plrg"
+)
+
+// TestJournalLifecycle drives the full CLI surface: init, apply from
+// stdin, stat, verify, compact, then apply and verify again on the new
+// generation.
+func TestJournalLifecycle(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.adj")
+	if err := gio.WriteGraphSorted(base, plrg.ErdosRenyi(200, 600, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "store")
+
+	var stdout, stderr bytes.Buffer
+	exec := func(args ...string) int {
+		stdout.Reset()
+		stderr.Reset()
+		return run(ctx, args, strings.NewReader(""), &stdout, &stderr)
+	}
+
+	if code := exec("init", "-dir", store, base); code != 0 {
+		t.Fatalf("init exit %d: %s", code, stderr.String())
+	}
+
+	ops := "# three inserts, one delete\ni 0 1\ni 2 3\n\ni 4 5\nd 2 3\n"
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(ctx, []string{"apply", "-dir", store, "-sync-every", "2"},
+		strings.NewReader(ops), &stdout, &stderr); code != 0 {
+		t.Fatalf("apply exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "applied 4 updates") {
+		t.Fatalf("apply output %q", stdout.String())
+	}
+
+	if code := exec("stat", "-dir", store); code != 0 {
+		t.Fatalf("stat exit %d: %s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "generation: 1") ||
+		!strings.Contains(out, "4 edges") {
+		t.Fatalf("stat output %q", out)
+	}
+
+	if code := exec("verify", "-dir", store); code != 0 {
+		t.Fatalf("verify exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "verified") {
+		t.Fatalf("verify output %q", stdout.String())
+	}
+
+	if code := exec("compact", "-dir", store); code != 0 {
+		t.Fatalf("compact exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "generation 2") {
+		t.Fatalf("compact output %q", stdout.String())
+	}
+
+	// The store keeps working after compaction.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(ctx, []string{"apply", "-dir", store},
+		strings.NewReader("i 7 8\n"), &stdout, &stderr); code != 0 {
+		t.Fatalf("post-compact apply exit %d: %s", code, stderr.String())
+	}
+	if code := exec("verify", "-dir", store); code != 0 {
+		t.Fatalf("post-compact verify exit %d: %s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "generation 2") {
+		t.Fatalf("post-compact verify output %q", out)
+	}
+}
+
+// TestJournalRelativeBasePath pins init with a CWD-relative base outside
+// the store dir: the manifest must record a path that later opens resolve
+// correctly (absolute), not the raw init-time string.
+func TestJournalRelativeBasePath(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	if err := gio.WriteGraphSorted(filepath.Join(dir, "g.adj"), plrg.Path(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"init", "-dir", "store", "g.adj"},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("init exit %d: %s", code, stderr.String())
+	}
+	if code := run(ctx, []string{"apply", "-dir", "store"},
+		strings.NewReader("i 0 2\n"), &stdout, &stderr); code != 0 {
+		t.Fatalf("apply exit %d: %s", code, stderr.String())
+	}
+	if code := run(ctx, []string{"verify", "-dir", "store"},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("verify exit %d: %s", code, stderr.String())
+	}
+}
+
+func TestJournalBadInput(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.adj")
+	if err := gio.WriteGraphSorted(base, plrg.Path(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "store")
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"init", "-dir", store, base},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("init exit %d: %s", code, stderr.String())
+	}
+
+	// A malformed line fails the stream but keeps the acknowledged prefix.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(ctx, []string{"apply", "-dir", store},
+		strings.NewReader("i 0 1\nbogus line\n"), &stdout, &stderr); code != 1 {
+		t.Fatalf("bad op exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "after 1 updates") {
+		t.Fatalf("stderr %q", stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(ctx, []string{"stat", "-dir", store},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("stat exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "1 edges") {
+		t.Fatalf("acknowledged prefix lost: %q", stdout.String())
+	}
+
+	// Missing -dir and unknown commands are usage errors.
+	if code := run(ctx, []string{"stat"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -dir exit %d, want 2", code)
+	}
+	if code := run(ctx, []string{"frobnicate"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown command exit %d, want 2", code)
+	}
+	if code := run(ctx, nil, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("no args exit %d, want 2", code)
+	}
+}

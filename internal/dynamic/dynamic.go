@@ -21,7 +21,9 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/gio"
@@ -150,6 +152,15 @@ func (m *Maintainer) DeleteEdge(u, v uint32) error {
 	return nil
 }
 
+// CheckEdge validates an edge's endpoints (range and self-loop) without
+// applying anything — the journal layer validates before it logs, so a
+// rejected update is never acknowledged or persisted.
+func (m *Maintainer) CheckEdge(u, v uint32) error { return m.checkIDs(u, v) }
+
+// MarkDirty flags maximality as possibly violated. The journal layer uses
+// it to carry the dirty flag across a compaction's maintainer swap.
+func (m *Maintainer) MarkDirty() { m.dirty = true }
+
 func (m *Maintainer) checkIDs(u, v uint32) error {
 	if int(u) >= m.n || int(v) >= m.n {
 		return fmt.Errorf("dynamic: edge {%d,%d} out of range for %d vertices", u, v, m.n)
@@ -195,13 +206,36 @@ func (m *Maintainer) effectiveNeighbors(u uint32, base []uint32, buf []uint32) [
 	return buf
 }
 
+// ViolationError reports an independence violation Verify found: the edge
+// inside the set and the scan position where it surfaced. It is typed —
+// mirroring gio.ScanError for I/O failures — so daemon-style callers can
+// distinguish data corruption (errors.As *gio.ScanError) from invariant
+// violations (errors.As *ViolationError) without string matching.
+type ViolationError struct {
+	// U, V are the endpoints of the in-set edge.
+	U, V uint32
+	// Record is the scan position (records delivered, 1-based) at which the
+	// violation surfaced.
+	Record uint64
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("dynamic: edge {%d,%d} inside the set (found at scan record %d)", e.U, e.V, e.Record)
+}
+
 // Repair restores maximality with one sequential scan: every vertex outside
 // the set with no effective IS neighbor joins, in scan order. It returns the
 // number of vertices added.
-func (m *Maintainer) Repair() (int, error) {
+func (m *Maintainer) Repair() (int, error) { return m.RepairCtx(context.Background()) }
+
+// RepairCtx is Repair bound to a context: cancellation stops the scan
+// within one batch and surfaces as a *gio.ScanError carrying the position.
+// A canceled repair leaves the set independent (additions are monotone) but
+// still dirty.
+func (m *Maintainer) RepairCtx(ctx context.Context) (int, error) {
 	addedCount := 0
 	var buf []uint32
-	err := m.f.ForEach(func(r gio.Record) error {
+	err := m.f.ForEachCtx(ctx, func(r gio.Record) error {
 		u := r.ID
 		if m.inSet[u] {
 			return nil
@@ -218,6 +252,8 @@ func (m *Maintainer) Repair() (int, error) {
 		return nil
 	})
 	if err != nil {
+		// The cause is a scan failure (*gio.ScanError for cancellation and
+		// positioned I/O errors); %w keeps it reachable through errors.As.
 		return addedCount, fmt.Errorf("dynamic: repair: %w", err)
 	}
 	m.dirty = false
@@ -225,42 +261,53 @@ func (m *Maintainer) Repair() (int, error) {
 }
 
 // Verify checks invariant 1 — the set is independent in the effective
-// graph — with one sequential scan plus the in-memory delta.
-func (m *Maintainer) Verify() error {
+// graph — with one sequential scan plus the in-memory delta. A violation
+// surfaces as a *ViolationError; a scan failure as the underlying
+// (*gio.ScanError-typed) error.
+func (m *Maintainer) Verify() error { return m.VerifyCtx(context.Background()) }
+
+// VerifyCtx is Verify bound to a context (see RepairCtx).
+func (m *Maintainer) VerifyCtx(ctx context.Context) error {
 	var buf []uint32
-	err := m.f.ForEach(func(r gio.Record) error {
+	var scanned uint64
+	return m.f.ForEachCtx(ctx, func(r gio.Record) error {
+		scanned++
 		if !m.inSet[r.ID] {
 			return nil
 		}
 		buf = m.effectiveNeighbors(r.ID, r.Neighbors, buf)
 		for _, nb := range buf {
 			if m.inSet[nb] {
-				return fmt.Errorf("dynamic: edge {%d,%d} inside the set", r.ID, nb)
+				return &ViolationError{U: r.ID, V: nb, Record: scanned}
 			}
 		}
+		// Inserted edges between vertices whose base records carry no trace
+		// of each other are covered too: effectiveNeighbors includes the
+		// delta at every record.
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	// Inserted edges between vertices whose base records carry no trace of
-	// each other are already covered above (effectiveNeighbors includes the
-	// delta), but an edge between two vertices both absent from addedAdj
-	// cannot exist; nothing more to check.
-	return nil
 }
 
 // Materialize writes the effective graph to path as a degree-sorted
 // adjacency file, so the swap pipeline can re-optimize from scratch once
-// the delta has grown past the caller's threshold.
+// the delta has grown past the caller's threshold. The file appears at
+// path atomically — written to a temp file, fsynced, then renamed — so an
+// error or crash mid-write never leaves a partial file at the destination.
 func (m *Maintainer) Materialize(path string) error {
+	return m.MaterializeCtx(context.Background(), path)
+}
+
+// MaterializeCtx is Materialize bound to a context: cancellation stops the
+// scan within one batch, removes the temp file, and leaves the destination
+// untouched.
+func (m *Maintainer) MaterializeCtx(ctx context.Context, path string) error {
 	type rec struct {
 		id uint32
 		ns []uint32
 	}
 	recs := make([]rec, 0, m.n)
 	var buf []uint32
-	err := m.f.ForEach(func(r gio.Record) error {
+	err := m.f.ForEachCtx(ctx, func(r gio.Record) error {
 		buf = m.effectiveNeighbors(r.ID, r.Neighbors, buf)
 		ns := make([]uint32, len(buf))
 		copy(ns, buf)
@@ -276,15 +323,25 @@ func (m *Maintainer) Materialize(path string) error {
 		}
 		return recs[i].id < recs[j].id
 	})
-	w, err := gio.NewWriter(path, gio.FlagDegreeSorted, 0, m.f.Stats())
+	tmp := path + ".tmp"
+	w, err := gio.NewWriter(tmp, gio.FlagDegreeSorted, 0, m.f.Stats())
 	if err != nil {
 		return err
 	}
 	for _, r := range recs {
 		if err := w.Append(r.id, r.ns); err != nil {
 			w.Close()
+			os.Remove(tmp)
 			return err
 		}
 	}
-	return w.Close()
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := gio.CommitFile(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

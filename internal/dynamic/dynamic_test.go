@@ -1,7 +1,10 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -309,5 +312,119 @@ func TestDeltaAccounting(t *testing.T) {
 	m.DeleteEdge(0, 5) // removes the added edge, leaves a tombstone
 	if m.DeltaEdges() != 1 {
 		t.Fatalf("delta = %d after delete, want 1 (tombstone)", m.DeltaEdges())
+	}
+}
+
+func TestVerifyViolationTyped(t *testing.T) {
+	f := openGraph(t, plrg.Path(4)) // 0-1-2-3
+	bad := make([]bool, 4)
+	bad[1], bad[2] = true, true // edge {1,2} inside the set
+	m, err := New(f, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Verify()
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Verify returned %T (%v), want *ViolationError", err, err)
+	}
+	lo, hi := ve.U, ve.V
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo != 1 || hi != 2 {
+		t.Fatalf("violation edge {%d,%d}, want {1,2}", ve.U, ve.V)
+	}
+	if ve.Record == 0 || ve.Record > 4 {
+		t.Fatalf("violation scan position %d out of range", ve.Record)
+	}
+	// A violation introduced purely by the delta is typed the same way.
+	f2 := openGraph(t, plrg.Path(4))
+	m2, err := New(f2, make([]bool, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.InsertEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	m2.inSet[0], m2.inSet[3] = true, true // bypass eviction to fake corruption
+	if err := m2.Verify(); !errors.As(err, &ve) {
+		t.Fatalf("delta violation: %T (%v), want *ViolationError", err, err)
+	}
+}
+
+func TestCtxCancelSurfacesScanError(t *testing.T) {
+	f := openGraph(t, plrg.ErdosRenyi(200, 400, 1))
+	m, err := New(f, make([]bool, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RepairCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RepairCtx: %v, want context.Canceled", err)
+	}
+	var se *gio.ScanError
+	if _, err := m.RepairCtx(ctx); !errors.As(err, &se) {
+		t.Fatalf("RepairCtx error %T not a *gio.ScanError", err)
+	}
+	if err := m.VerifyCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("VerifyCtx: %v, want context.Canceled", err)
+	}
+	dst := filepath.Join(t.TempDir(), "out.adj")
+	if err := m.MaterializeCtx(ctx, dst); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MaterializeCtx: %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatalf("canceled materialize left a file at the destination (err=%v)", err)
+	}
+	if _, err := os.Stat(dst + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("canceled materialize left a temp file (err=%v)", err)
+	}
+}
+
+func TestMaterializeAtomicReplace(t *testing.T) {
+	// Materialize over an existing destination must leave the old complete
+	// file in place until the new one is fully written, and replace it
+	// atomically — a failed run never clobbers it.
+	f := openGraph(t, plrg.Path(6))
+	m, err := New(f, make([]bool, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "snap.adj")
+	if err := m.Materialize(dst); err != nil {
+		t.Fatal(err)
+	}
+	before, err := gio.LoadGraph(dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A canceled rewrite leaves the previous snapshot untouched.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.InsertEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MaterializeCtx(ctx, dst); err == nil {
+		t.Fatal("canceled materialize succeeded")
+	}
+	after, err := gio.LoadGraph(dst, nil)
+	if err != nil {
+		t.Fatalf("destination unreadable after failed rewrite: %v", err)
+	}
+	if after.NumEdges() != before.NumEdges() {
+		t.Fatalf("failed rewrite changed the destination: %d edges, had %d", after.NumEdges(), before.NumEdges())
+	}
+	// And a successful rewrite flips to the new content.
+	if err := m.Materialize(dst); err != nil {
+		t.Fatal(err)
+	}
+	final, err := gio.LoadGraph(dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.NumEdges() != before.NumEdges()+1 {
+		t.Fatalf("rewrite has %d edges, want %d", final.NumEdges(), before.NumEdges()+1)
 	}
 }

@@ -1,0 +1,47 @@
+package gio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CommitFile durably publishes the finished temp file tmp at path final:
+// fsync(tmp), rename(tmp → final), fsync(parent dir). After it returns, a
+// crash leaves final complete; before it returns, final is either absent or
+// its previous complete content. It is the shared publication step for
+// Materialize and the WAL compactor's generation files — anything that must
+// never leave a half-written file at its destination.
+func CommitFile(tmp, final string) error {
+	f, err := os.Open(tmp)
+	if err != nil {
+		return fmt.Errorf("gio: commit %s: %w", final, err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("gio: commit %s: fsync temp: %w", final, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("gio: commit %s: %w", final, err)
+	}
+	return SyncDir(filepath.Dir(final))
+}
+
+// SyncDir fsyncs a directory, making renames and creates inside it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("gio: sync dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("gio: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error FaultFS returns from an operation it was armed
+// to fail.
+var ErrInjected = errors.New("wal: injected fault")
+
+// ErrCrashed is the error FaultFS returns from every operation after an
+// injected crash: the simulated process is dead, only a fresh FS (a
+// "reboot") can touch the files again.
+var ErrCrashed = errors.New("wal: filesystem crashed (injected)")
+
+// FaultMode selects what happens at the armed operation.
+type FaultMode int
+
+const (
+	// FailOp returns ErrInjected without performing the operation; later
+	// operations proceed normally (a transient I/O error).
+	FailOp FaultMode = iota
+	// ShortWrite applies only to writes: half the bytes reach the file,
+	// then ErrInjected; later operations proceed normally.
+	ShortWrite
+	// Crash performs a short write (when the operation is a write), then
+	// fails this and every subsequent operation with ErrCrashed — the
+	// simulated kill -9. Re-wrap the real FS to "reboot".
+	Crash
+)
+
+// FaultFS wraps an FS and injects a fault at the Nth mutating operation —
+// the seam the crash-recovery tests drive. Mutating operations (counted in
+// order): File.Write, File.Sync, File.Truncate, OpenFile with O_CREATE or
+// O_TRUNC, Rename, Remove, MkdirAll, SyncDir. Reads, Stat, ReadDir, Seek,
+// and plain opens are passed through uncounted, so arming "op N" is
+// deterministic for a deterministic workload.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int
+	armAt   int // fault fires when ops reaches this count; 0 = disarmed
+	mode    FaultMode
+	crashed bool
+	fired   bool
+}
+
+// NewFaultFS wraps inner (nil for the OS filesystem).
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: fsOrOS(inner)} }
+
+// Arm schedules a fault at the nth (1-based) mutating operation from now.
+func (f *FaultFS) Arm(n int, mode FaultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armAt = f.ops + n
+	f.mode = mode
+	f.fired = false
+}
+
+// Ops returns how many mutating operations have been performed — run the
+// workload once unarmed to learn the op count, then iterate Arm(1..N).
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired reports whether the armed fault has triggered.
+func (f *FaultFS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// step accounts one mutating operation. It returns (mode, true) when the
+// fault fires on this operation, and an ErrCrashed error when the
+// filesystem is already dead.
+func (f *FaultFS) step() (FaultMode, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, false, ErrCrashed
+	}
+	f.ops++
+	if f.armAt != 0 && f.ops == f.armAt {
+		f.fired = true
+		if f.mode == Crash {
+			f.crashed = true
+		}
+		return f.mode, true, nil
+	}
+	return 0, false, nil
+}
+
+func (f *FaultFS) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		mode, fire, err := f.step()
+		if err != nil {
+			return nil, err
+		}
+		if fire {
+			if mode == Crash {
+				return nil, ErrCrashed
+			}
+			return nil, ErrInjected
+		}
+		_ = mode
+	} else if err := f.dead(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.mutate(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.mutate(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	if err := f.mutate(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if err := f.mutate(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+// mutate is the shared counted path for non-write mutating operations.
+func (f *FaultFS) mutate() error {
+	mode, fire, err := f.step()
+	if err != nil {
+		return err
+	}
+	if !fire {
+		return nil
+	}
+	if mode == Crash {
+		return ErrCrashed
+	}
+	return ErrInjected // FailOp and ShortWrite degenerate to a plain failure
+}
+
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	mode, fire, err := ff.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	if !fire {
+		return ff.f.Write(p)
+	}
+	switch mode {
+	case ShortWrite, Crash:
+		n, _ := ff.f.Write(p[:len(p)/2])
+		if mode == Crash {
+			return n, ErrCrashed
+		}
+		return n, ErrInjected
+	default:
+		return 0, ErrInjected
+	}
+}
+
+func (ff *faultFile) Sync() error {
+	mode, fire, err := ff.fs.step()
+	if err != nil {
+		return err
+	}
+	if !fire {
+		return ff.f.Sync()
+	}
+	if mode == Crash {
+		return ErrCrashed
+	}
+	return ErrInjected
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	mode, fire, err := ff.fs.step()
+	if err != nil {
+		return err
+	}
+	if !fire {
+		return ff.f.Truncate(size)
+	}
+	if mode == Crash {
+		return ErrCrashed
+	}
+	return ErrInjected
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := ff.fs.dead(); err != nil {
+		return 0, err
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := ff.fs.dead(); err != nil {
+		return 0, err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Close() error {
+	// Closing is not counted: a dying process's descriptors close anyway.
+	return ff.f.Close()
+}

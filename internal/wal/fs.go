@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem seam every durable operation in this package goes
+// through. Production uses OSFS; the fault-injection harness (FaultFS)
+// wraps it to fail, short-write, or crash at a chosen operation so tests
+// can drive recovery through every reachable on-disk state.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat returns file metadata.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creates within it
+	// durable.
+	SyncDir(name string) error
+}
+
+// File is the open-file surface the journal and manifest writers need.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS returns the real filesystem.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readFile reads name in full through fs.
+func readFile(fs FS, name string) ([]byte, error) {
+	info, err := fs.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, info.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFileAtomic durably publishes data at name: write to name.tmp, fsync,
+// rename over name, fsync the directory. A crash at any point leaves either
+// the old complete file or the new complete file, never a partial one.
+func writeFileAtomic(fs FS, name string, data []byte, perm os.FileMode) error {
+	tmp := name + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, name); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(name))
+}
+
+// sectionReader adapts File's ReaderAt to a forward io.Reader over [0, size).
+type sectionReader struct {
+	f    File
+	off  int64
+	size int64
+}
+
+func (s *sectionReader) Read(p []byte) (int, error) {
+	if s.off >= s.size {
+		return 0, io.EOF
+	}
+	if max := s.size - s.off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := s.f.ReadAt(p, s.off)
+	s.off += int64(n)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+func fsOrOS(fs FS) FS {
+	if fs == nil {
+		return OSFS()
+	}
+	return fs
+}

@@ -1,0 +1,329 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Options configures a Journal.
+type Options struct {
+	// SyncEvery is the group-commit size trigger: an Append whose record
+	// brings the unsynced count to SyncEvery (or beyond) commits the batch
+	// with one fsync before returning, and concurrent appenders waiting on
+	// the same batch piggyback on that fsync instead of issuing their own.
+	// 1 (the default) makes every Append durable before it returns; larger
+	// values trade a bounded window of acknowledged-but-volatile records
+	// for fewer fsyncs. ≤ 0 means 1.
+	SyncEvery int
+
+	// SyncInterval is the group-commit time trigger: a background ticker
+	// commits any unsynced records at least this often, bounding how long a
+	// record admitted under SyncEvery > 1 stays volatile. 0 disables the
+	// ticker.
+	SyncInterval time.Duration
+
+	// FS overrides the filesystem (fault injection, tests). Nil uses the OS.
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	o.FS = fsOrOS(o.FS)
+	return o
+}
+
+// Journal is the durable append-only record log. All methods are safe for
+// concurrent use; appends are serialized, and durability acknowledgments
+// are batched through group commit (see Options.SyncEvery).
+type Journal struct {
+	path string
+	fs   FS
+	opts Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when durable advances or err sets
+	f        File
+	err      error // sticky: once a write or sync fails, the journal is poisoned
+	size     int64 // bytes written (all records, synced or not)
+	appended uint64
+	durable  uint64 // records covered by a completed fsync
+	edges    uint64 // non-checkpoint records among appended
+	torn     int64  // bytes truncated from the tail during Open
+	syncing  bool
+	closed   bool
+
+	stopTicker chan struct{}
+	tickerDone chan struct{}
+	buf        []byte
+}
+
+// Open opens (creating if absent) the journal at path and replays every
+// intact record through apply, in order. A damaged tail — a partial record,
+// or a CRC failure on the final record — is a torn write: the journal is
+// truncated back to the last intact record, synced, and opened for appends.
+// Damage before the tail aborts with a *CorruptError carrying the offset.
+// An error from apply aborts the open and is returned verbatim.
+func Open(path string, opts Options, apply func(Record) error) (*Journal, error) {
+	opts = opts.withDefaults()
+	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	j := &Journal{path: path, fs: opts.FS, opts: opts, f: f}
+	j.cond = sync.NewCond(&j.mu)
+
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	clean, err := DecodeStream(&sectionReader{f: f, size: size}, size, func(r Record) error {
+		j.appended++
+		if r.Op != OpCheckpoint {
+			j.edges++
+		}
+		if apply != nil {
+			return apply(r)
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		if ce, ok := err.(*CorruptError); ok {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	if clean < size {
+		j.torn = size - clean
+		if err := f.Truncate(clean); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	j.size = clean
+	j.durable = j.appended // everything replayed is on disk
+
+	if opts.SyncInterval > 0 {
+		j.stopTicker = make(chan struct{})
+		j.tickerDone = make(chan struct{})
+		go j.tickLoop(opts.SyncInterval)
+	}
+	return j, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Appended returns the number of records in the journal, replayed plus
+// appended, whether or not they are durable yet.
+func (j *Journal) Appended() uint64 { j.mu.Lock(); defer j.mu.Unlock(); return j.appended }
+
+// Durable returns the number of records covered by a completed fsync.
+func (j *Journal) Durable() uint64 { j.mu.Lock(); defer j.mu.Unlock(); return j.durable }
+
+// Edges returns the number of edge (non-checkpoint) records in the journal.
+func (j *Journal) Edges() uint64 { j.mu.Lock(); defer j.mu.Unlock(); return j.edges }
+
+// Size returns the journal length in bytes.
+func (j *Journal) Size() int64 { j.mu.Lock(); defer j.mu.Unlock(); return j.size }
+
+// TornBytes reports how many trailing bytes Open discarded as a torn write.
+func (j *Journal) TornBytes() int64 { return j.torn }
+
+// Append writes r to the journal. When the record triggers the group-commit
+// size threshold the call blocks until an fsync covers it — shared with
+// every other appender waiting on the same batch — and returns only once
+// the record is durable. Below the threshold it returns immediately after
+// the buffered write; the record becomes durable at the next size- or
+// time-triggered commit, or an explicit Sync. A write or sync failure
+// poisons the journal: the failed record is not acknowledged and every
+// subsequent call returns the same error.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.closed {
+		return fmt.Errorf("wal: append to closed journal %s", j.path)
+	}
+	j.buf = AppendRecord(j.buf[:0], r)
+	n, err := j.f.Write(j.buf)
+	j.size += int64(n)
+	if err != nil {
+		j.fail(fmt.Errorf("wal: append %s: %w", j.path, err))
+		return j.err
+	}
+	j.appended++
+	if r.Op != OpCheckpoint {
+		j.edges++
+	}
+	if j.appended-j.durable >= uint64(j.opts.SyncEvery) {
+		return j.commitLocked(j.appended)
+	}
+	return nil
+}
+
+// Sync commits every appended record with one fsync (group commit: if a
+// sync already in flight covers the caller's records it just waits).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.commitLocked(j.appended)
+}
+
+// commitLocked blocks until records up to seq are durable, issuing the
+// fsync itself if no in-flight sync will cover them. Called with j.mu held;
+// the fsync itself runs unlocked so concurrent appenders keep writing (the
+// next batch) while the current one commits.
+func (j *Journal) commitLocked(seq uint64) error {
+	for {
+		if j.err != nil {
+			return j.err
+		}
+		if j.durable >= seq {
+			return nil
+		}
+		if j.syncing {
+			j.cond.Wait()
+			continue
+		}
+		j.syncing = true
+		target := j.appended
+		j.mu.Unlock()
+		err := j.f.Sync()
+		j.mu.Lock()
+		j.syncing = false
+		if err != nil {
+			j.fail(fmt.Errorf("wal: sync %s: %w", j.path, err))
+			return j.err
+		}
+		if target > j.durable {
+			j.durable = target
+		}
+		j.cond.Broadcast()
+	}
+}
+
+// fail poisons the journal with err. Called with j.mu held.
+func (j *Journal) fail(err error) {
+	if j.err == nil {
+		j.err = err
+	}
+	j.cond.Broadcast()
+}
+
+// Reset truncates the journal to empty, writes cp as the new head
+// checkpoint, and fsyncs — the compactor's "journal horizon folded, start
+// generation cp.Gen" step. A failure poisons the journal (the on-disk state
+// is ambiguous; recovery via Open resolves it).
+func (j *Journal) Reset(cp Record) error {
+	if cp.Op != OpCheckpoint {
+		return fmt.Errorf("wal: reset head must be a checkpoint, got op %d", cp.Op)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.closed {
+		return fmt.Errorf("wal: reset of closed journal %s", j.path)
+	}
+	// Wait out any in-flight fsync so truncate and sync don't interleave.
+	for j.syncing {
+		j.cond.Wait()
+		if j.err != nil {
+			return j.err
+		}
+	}
+	if err := j.f.Truncate(0); err != nil {
+		j.fail(fmt.Errorf("wal: reset truncate %s: %w", j.path, err))
+		return j.err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		j.fail(fmt.Errorf("wal: reset seek %s: %w", j.path, err))
+		return j.err
+	}
+	j.size, j.appended, j.durable, j.edges = 0, 0, 0, 0
+	j.buf = AppendRecord(j.buf[:0], cp)
+	n, err := j.f.Write(j.buf)
+	j.size += int64(n)
+	if err != nil {
+		j.fail(fmt.Errorf("wal: reset checkpoint %s: %w", j.path, err))
+		return j.err
+	}
+	j.appended = 1
+	if err := j.f.Sync(); err != nil {
+		j.fail(fmt.Errorf("wal: reset sync %s: %w", j.path, err))
+		return j.err
+	}
+	j.durable = 1
+	return nil
+}
+
+// Close commits pending records and closes the file. A poisoned journal
+// closes without syncing and reports the sticky error.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		err := j.err
+		j.mu.Unlock()
+		return err
+	}
+	j.closed = true
+	stop := j.stopTicker
+	j.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-j.tickerDone
+	}
+
+	j.mu.Lock()
+	var err error
+	if j.err == nil && j.durable < j.appended {
+		err = j.commitLocked(j.appended)
+	} else {
+		err = j.err
+	}
+	cerr := j.f.Close()
+	if err == nil {
+		err = cerr
+	}
+	j.mu.Unlock()
+	return err
+}
+
+func (j *Journal) tickLoop(interval time.Duration) {
+	defer close(j.tickerDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stopTicker:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if j.err == nil && !j.closed && j.durable < j.appended {
+				j.commitLocked(j.appended)
+			}
+			j.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func edge(op Op, u, v uint32) Record { return Record{Op: op, U: u, V: v} }
+
+func collect(dst *[]Record) func(Record) error {
+	return func(r Record) error {
+		*dst = append(*dst, r)
+		return nil
+	}
+}
+
+func openJournal(t *testing.T, path string, opts Options) (*Journal, []Record) {
+	t.Helper()
+	var got []Record
+	j, err := Open(path, opts, collect(&got))
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return j, got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, got := openJournal(t, path, Options{})
+	if len(got) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(got))
+	}
+	want := []Record{
+		{Op: OpCheckpoint, Gen: 1, Horizon: 0},
+		edge(OpInsert, 1, 2),
+		edge(OpDelete, 3, 4),
+		edge(OpInsert, 100000, 7),
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Appended() != 4 || j.Durable() != 4 || j.Edges() != 3 {
+		t.Fatalf("counters appended=%d durable=%d edges=%d", j.Appended(), j.Durable(), j.Edges())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got := openJournal(t, path, Options{})
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if j2.TornBytes() != 0 {
+		t.Fatalf("clean journal reported %d torn bytes", j2.TornBytes())
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJournal(t, path, Options{})
+	for i := uint32(0); i < 5; i++ {
+		if err := j.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(whole) / 5
+
+	// Every possible mid-record cut of the final record is a torn write:
+	// recovery keeps the first 4 records and truncates the tail.
+	for cut := 1; cut < recLen; cut++ {
+		p := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(p, whole[:4*recLen+cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, got := openJournal(t, p, Options{})
+		if len(got) != 4 {
+			t.Fatalf("cut %d: recovered %d records, want 4", cut, len(got))
+		}
+		if j2.TornBytes() != int64(cut) {
+			t.Fatalf("cut %d: torn bytes %d, want %d", cut, j2.TornBytes(), cut)
+		}
+		// The truncated journal accepts appends and they land after the
+		// surviving prefix.
+		if err := j2.Append(edge(OpDelete, 9, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, got = openJournal(t, p, Options{})
+		if len(got) != 5 || got[4] != edge(OpDelete, 9, 8) {
+			t.Fatalf("cut %d: after repair-append replay got %d records (%+v)", cut, len(got), got[len(got)-1])
+		}
+	}
+
+	// A CRC-damaged final record is likewise torn, not corrupt.
+	damaged := append([]byte(nil), whole...)
+	damaged[len(damaged)-1] ^= 0xff
+	p := filepath.Join(t.TempDir(), "crc.wal")
+	if err := os.WriteFile(p, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3, got := openJournal(t, p, Options{})
+	defer j3.Close()
+	if len(got) != 4 || j3.TornBytes() != int64(recLen) {
+		t.Fatalf("damaged final record: recovered %d records, torn %d", len(got), j3.TornBytes())
+	}
+}
+
+func TestCorruptBeforeTailTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJournal(t, path, Options{})
+	for i := uint32(0); i < 5; i++ {
+		if err := j.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(whole) / 5
+
+	// Flip a payload byte of record 2: records follow it, so this is
+	// corruption, not a torn tail, and the error carries the offset.
+	bad := append([]byte(nil), whole...)
+	bad[2*recLen+recordHeaderSize+3] ^= 0x40
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(path, Options{}, nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CorruptError", err)
+	}
+	if ce.Offset != int64(2*recLen) {
+		t.Fatalf("corrupt offset %d, want %d", ce.Offset, 2*recLen)
+	}
+	if ce.Path != path {
+		t.Fatalf("corrupt path %q, want %q", ce.Path, path)
+	}
+}
+
+func TestGroupCommitSyncEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJournal(t, path, Options{SyncEvery: 3})
+	defer j.Close()
+	for i := uint32(1); i <= 2; i++ {
+		if err := j.Append(edge(OpInsert, 0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := j.Durable(); d != 0 {
+		t.Fatalf("durable %d before threshold, want 0", d)
+	}
+	if err := j.Append(edge(OpInsert, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if d := j.Durable(); d != 3 {
+		t.Fatalf("durable %d at threshold, want 3", d)
+	}
+	if err := j.Append(edge(OpInsert, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := j.Durable(); d != 4 {
+		t.Fatalf("durable %d after explicit sync, want 4", d)
+	}
+}
+
+func TestSyncIntervalTimer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJournal(t, path, Options{SyncEvery: 1000, SyncInterval: 5 * time.Millisecond})
+	defer j.Close()
+	if err := j.Append(edge(OpInsert, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Durable() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("time-triggered group commit never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// countingFS counts fsync calls so the group-commit test can show many
+// acknowledged appends sharing fewer fsyncs.
+type countingFS struct {
+	FS
+	mu    sync.Mutex
+	syncs int
+}
+
+func (c *countingFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := c.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, c: c}, nil
+}
+
+type countingFile struct {
+	File
+	c *countingFS
+}
+
+func (f *countingFile) Sync() error {
+	f.c.mu.Lock()
+	f.c.syncs++
+	f.c.mu.Unlock()
+	return f.File.Sync()
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	cfs := &countingFS{FS: OSFS()}
+	j, _ := openJournal(t, path, Options{SyncEvery: 1, FS: cfs})
+	const goroutines, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append(edge(OpInsert, uint32(g), uint32(1000+i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.Durable() != goroutines*per {
+		t.Fatalf("durable %d, want %d", j.Durable(), goroutines*per)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got := openJournal(t, path, Options{})
+	if len(got) != goroutines*per {
+		t.Fatalf("replayed %d records, want %d", len(got), goroutines*per)
+	}
+	t.Logf("group commit: %d appends acknowledged durable over %d fsyncs", goroutines*per, cfs.syncs)
+}
+
+func TestAppendFaultPoisonsJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	ffs := NewFaultFS(nil)
+	j, _ := openJournal(t, path, Options{FS: ffs})
+	if err := j.Append(edge(OpInsert, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Arm the next write to short-write: the append must fail, and every
+	// later call must return the same sticky error — a half-written record
+	// is never acknowledged.
+	ffs.Arm(1, ShortWrite)
+	if err := j.Append(edge(OpInsert, 3, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write append: %v, want ErrInjected", err)
+	}
+	if err := j.Append(edge(OpInsert, 5, 6)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append after poison: %v, want sticky ErrInjected", err)
+	}
+	if err := j.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after poison: %v, want sticky ErrInjected", err)
+	}
+	j.Close()
+
+	// Recovery drops the torn half-record and keeps the acknowledged prefix.
+	j2, got := openJournal(t, path, Options{})
+	defer j2.Close()
+	if len(got) != 1 || got[0] != edge(OpInsert, 1, 2) {
+		t.Fatalf("recovered %d records (%+v), want the 1 acknowledged", len(got), got)
+	}
+	if j2.TornBytes() == 0 {
+		t.Fatal("expected torn bytes from the short write")
+	}
+}
+
+func TestSyncFaultNotAcknowledged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	ffs := NewFaultFS(nil)
+	j, _ := openJournal(t, path, Options{FS: ffs})
+	defer j.Close()
+	if err := j.Append(edge(OpInsert, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Ops so far: 1 create-open + 1 write + 1 sync. Fail the next sync.
+	ffs.Arm(2, FailOp) // next = write, then sync fails
+	if err := j.Append(edge(OpInsert, 3, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append with failing fsync: %v, want ErrInjected", err)
+	}
+	if j.Durable() != 1 {
+		t.Fatalf("durable %d after failed fsync, want 1", j.Durable())
+	}
+}
+
+func TestResetStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJournal(t, path, Options{})
+	for i := uint32(0); i < 10; i++ {
+		if err := j.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(Record{Op: OpCheckpoint, Gen: 2, Horizon: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appended() != 1 || j.Edges() != 0 {
+		t.Fatalf("after reset: appended=%d edges=%d", j.Appended(), j.Edges())
+	}
+	if err := j.Append(edge(OpDelete, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got := openJournal(t, path, Options{})
+	want := []Record{{Op: OpCheckpoint, Gen: 2, Horizon: 10}, edge(OpDelete, 1, 2)}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("replay after reset: %+v", got)
+	}
+	if err := j.Reset(edge(OpInsert, 1, 2)); err == nil {
+		t.Fatal("reset accepted a non-checkpoint head")
+	}
+}
+
+func TestApplyErrorAbortsOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJournal(t, path, Options{})
+	for i := uint32(0); i < 3; i++ {
+		if err := j.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err := Open(path, Options{}, func(Record) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("apply error not returned verbatim: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package wal is a durable append-only edge journal for dynamic graphs —
+// the LogBase-style write path the ROADMAP names for `internal/dynamic`.
+// Acknowledged updates survive crashes: every record is length-prefixed and
+// CRC32C-checksummed, writes go through a group-commit batcher so many
+// appends share one fsync, and recovery replays the journal treating a
+// damaged tail as a torn write (truncate and continue) while damage before
+// the tail surfaces as a typed *CorruptError.
+//
+// On top of the journal, Store manages generational compaction: the delta
+// is folded into a fresh base file (written tmp + fsync + atomic rename), a
+// small manifest flips the current generation atomically, and the journal
+// is reset — interrupted at any step, recovery reads either the old or the
+// new generation in full, never a mix.
+//
+// Every filesystem touch goes through the FS seam, so the fault-injection
+// harness (FaultFS) can fail, short-write, or "crash" at the Nth operation
+// and the tests can assert recovery from every reachable on-disk state.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Op identifies a journal record type.
+type Op uint8
+
+const (
+	// OpInsert records an undirected edge insertion {U, V}.
+	OpInsert Op = 1
+	// OpDelete records an undirected edge deletion {U, V}.
+	OpDelete Op = 2
+	// OpCheckpoint marks a generation boundary: the journal's head record.
+	// Replaying a journal whose head generation does not match the store
+	// manifest means the journal's edges are already folded into the base —
+	// the store drops it instead of double-applying.
+	OpCheckpoint Op = 3
+)
+
+// Record is one journal entry. Edge ops use U and V; checkpoints carry the
+// generation they open and the cumulative fold horizon at that point.
+type Record struct {
+	Op   Op
+	U, V uint32 // edge endpoints (OpInsert, OpDelete)
+
+	Gen     uint64 // generation id (OpCheckpoint)
+	Horizon uint64 // cumulative edge records folded into the base (OpCheckpoint)
+}
+
+// On-disk framing: every record is
+//
+//	length  uint32 LE   payload byte count
+//	crc     uint32 LE   CRC32C (Castagnoli) over the payload
+//	payload length bytes
+//
+// followed immediately by the next record. The length prefix bounds the
+// payload so a reader can skip without decoding; the CRC catches torn
+// writes and bit rot independently of payload structure.
+const (
+	recordHeaderSize = 8
+	// MaxRecordLen bounds the payload of any valid record. A length prefix
+	// beyond it cannot belong to a record this package wrote, so mid-file it
+	// is corruption, not a torn tail.
+	MaxRecordLen = 64
+
+	edgePayloadSize       = 1 + 4 + 4
+	checkpointPayloadSize = 1 + 8 + 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord appends r's on-disk encoding to dst and returns the extended
+// slice. It is the single encoder, shared by the journal writer, the fuzz
+// round-trip property, and tests that fabricate journals.
+func AppendRecord(dst []byte, r Record) []byte {
+	var payload [checkpointPayloadSize]byte
+	var n int
+	payload[0] = byte(r.Op)
+	switch r.Op {
+	case OpInsert, OpDelete:
+		binary.LittleEndian.PutUint32(payload[1:], r.U)
+		binary.LittleEndian.PutUint32(payload[5:], r.V)
+		n = edgePayloadSize
+	case OpCheckpoint:
+		binary.LittleEndian.PutUint64(payload[1:], r.Gen)
+		binary.LittleEndian.PutUint64(payload[9:], r.Horizon)
+		n = checkpointPayloadSize
+	default:
+		panic(fmt.Sprintf("wal: encode unknown op %d", r.Op))
+	}
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload[:n], castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload[:n]...)
+}
+
+func decodePayload(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("empty payload")
+	}
+	op := Op(payload[0])
+	switch op {
+	case OpInsert, OpDelete:
+		if len(payload) != edgePayloadSize {
+			return Record{}, fmt.Errorf("op %d payload is %d bytes, want %d", op, len(payload), edgePayloadSize)
+		}
+		return Record{
+			Op: op,
+			U:  binary.LittleEndian.Uint32(payload[1:]),
+			V:  binary.LittleEndian.Uint32(payload[5:]),
+		}, nil
+	case OpCheckpoint:
+		if len(payload) != checkpointPayloadSize {
+			return Record{}, fmt.Errorf("checkpoint payload is %d bytes, want %d", len(payload), checkpointPayloadSize)
+		}
+		return Record{
+			Op:      op,
+			Gen:     binary.LittleEndian.Uint64(payload[1:]),
+			Horizon: binary.LittleEndian.Uint64(payload[9:]),
+		}, nil
+	default:
+		return Record{}, fmt.Errorf("unknown op %d", op)
+	}
+}
+
+// CorruptError reports journal damage before the tail: a record that fails
+// its CRC, carries an impossible length, or decodes to garbage while valid
+// records (or any bytes at all) follow it. Damage at the very tail is a
+// torn write — expected after a crash — and is truncated silently instead.
+type CorruptError struct {
+	Path   string // journal path, when known
+	Offset int64  // byte offset of the damaged record
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("wal: %s: corrupt record at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// DecodeStream decodes records from r, which holds size bytes of journal,
+// invoking emit for each good record in order. It returns the clean length:
+// the byte offset just past the last good record. Bytes past the clean
+// length are a torn tail (err == nil; the caller truncates) unless the
+// damage lies strictly before the end of the data, in which case err is a
+// *CorruptError at that offset. emit's error aborts the scan and is
+// returned verbatim.
+//
+// The distinction: a record whose bytes run off the end of the data — short
+// header, short payload, or a length prefix pointing past EOF — and a
+// CRC-failing record that is the final one are all consistent with a crash
+// mid-write, so they are torn. A CRC failure or structurally invalid
+// payload with data after it cannot come from a torn append and is
+// corruption.
+func DecodeStream(r io.Reader, size int64, emit func(Record) error) (int64, error) {
+	br := newChunkReader(r)
+	var off int64
+	for off < size {
+		rem := size - off
+		if rem < recordHeaderSize {
+			return off, nil // torn: partial header
+		}
+		hdr, err := br.next(recordHeaderSize)
+		if err != nil {
+			return off, nil // short read at the tail: torn
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		end := off + recordHeaderSize + length
+		if end > size {
+			return off, nil // torn: payload runs off the end
+		}
+		if length > MaxRecordLen {
+			return off, &CorruptError{Offset: off, Reason: fmt.Sprintf("length %d exceeds max %d", length, MaxRecordLen)}
+		}
+		payload, err := br.next(int(length))
+		if err != nil {
+			return off, nil // defensive: size lied; treat as torn
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if end == size {
+				return off, nil // torn: damaged final record
+			}
+			return off, &CorruptError{Offset: off, Reason: "CRC mismatch"}
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			// The CRC matched, so these bytes were written as-is: structural
+			// garbage is corruption even at the tail.
+			return off, &CorruptError{Offset: off, Reason: err.Error()}
+		}
+		if err := emit(rec); err != nil {
+			return off, err
+		}
+		off = end
+	}
+	return off, nil
+}
+
+// chunkReader serves exact-length forward reads from an io.Reader through
+// one reusable buffer, so replay costs large sequential reads rather than
+// two syscalls per record.
+type chunkReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	end int
+}
+
+func newChunkReader(r io.Reader) *chunkReader {
+	return &chunkReader{r: r, buf: make([]byte, 64<<10)}
+}
+
+// next returns the next n bytes, valid until the following call. A short
+// source surfaces as an error (the caller maps it to a torn tail).
+func (c *chunkReader) next(n int) ([]byte, error) {
+	if c.end-c.pos < n {
+		// Compact the leftover to the front and refill.
+		copy(c.buf, c.buf[c.pos:c.end])
+		c.end -= c.pos
+		c.pos = 0
+		for c.end < n {
+			m, err := c.r.Read(c.buf[c.end:])
+			c.end += m
+			if err != nil {
+				if c.end >= n {
+					break
+				}
+				return nil, err
+			}
+		}
+	}
+	p := c.buf[c.pos : c.pos+n]
+	c.pos += n
+	return p, nil
+}

@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Manifest names the current generation of a Store: which base adjacency
+// file is live and how much journal history has been folded into it. It is
+// rewritten with the temp + fsync + atomic-rename discipline, so on disk it
+// is always one complete generation — the flip from generation g to g+1 is
+// the rename, and readers see old or new, never a mix.
+type Manifest struct {
+	// Generation counts compactions, starting at 1 for the initial base.
+	Generation uint64 `json:"generation"`
+	// Base is the generation's adjacency file. Relative paths are relative
+	// to the store directory (compacted generations always live there);
+	// generation 1 may point outside it, at the file the store was
+	// initialized from.
+	Base string `json:"base"`
+	// Horizon is the cumulative count of edge records folded into Base by
+	// compactions — a monotone logical clock over the update stream.
+	Horizon uint64 `json:"horizon"`
+}
+
+const (
+	manifestName = "MANIFEST"
+	journalName  = "journal.wal"
+)
+
+// StoreOptions configures OpenStore/InitStore.
+type StoreOptions struct {
+	// Journal carries the group-commit knobs and the FS seam (shared by the
+	// manifest writer and compactor).
+	Journal Options
+	// KeepGenerations is how many base generations to retain inside the
+	// store directory after a compaction (the current one included).
+	// Older generation files are removed; the initial base, if it lives
+	// outside the directory, is never touched. ≤ 0 means 2 (current +
+	// previous).
+	KeepGenerations int
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	o.Journal = o.Journal.withDefaults()
+	if o.KeepGenerations <= 0 {
+		o.KeepGenerations = 2
+	}
+	return o
+}
+
+// Store ties a manifest, a base adjacency file, and the journal into one
+// durable home for a dynamic graph. Methods are not safe for concurrent use
+// (the journal itself is; callers serialize Compact against appends).
+type Store struct {
+	dir  string
+	fs   FS
+	opts StoreOptions
+	man  Manifest
+	j    *Journal
+}
+
+// errStaleJournal aborts replay when the journal's head checkpoint belongs
+// to an older generation than the manifest: its records are already folded
+// into the base, so replaying them would double-apply.
+var errStaleJournal = errors.New("wal: journal is stale (older generation than manifest)")
+
+// InitStore creates a store in dir (made if absent) whose generation-1 base
+// is the adjacency file at base, with an empty journal. It fails if dir
+// already holds a manifest.
+func InitStore(dir, base string, opts StoreOptions) error {
+	opts = opts.withDefaults()
+	fs := opts.Journal.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: init %s: %w", dir, err)
+	}
+	mpath := filepath.Join(dir, manifestName)
+	if _, err := fs.Stat(mpath); err == nil {
+		return fmt.Errorf("wal: init %s: already a store (manifest exists)", dir)
+	}
+	if _, err := fs.Stat(base); err != nil {
+		return fmt.Errorf("wal: init %s: base %s: %w", dir, base, err)
+	}
+	// The manifest records bases inside the store dir relative to it (so
+	// the store directory is relocatable); anything outside must be made
+	// absolute, because readers resolve relative manifest paths against
+	// dir, not against whatever the init-time working directory was.
+	man := Manifest{Generation: 1, Base: base, Horizon: 0}
+	if rel, err := filepath.Rel(dir, base); err == nil && !strings.HasPrefix(rel, "..") {
+		man.Base = rel
+	} else if abs, err := filepath.Abs(base); err == nil {
+		man.Base = abs
+	}
+	if err := writeManifest(fs, mpath, man); err != nil {
+		return err
+	}
+	j, err := Open(filepath.Join(dir, journalName), opts.Journal, nil)
+	if err != nil {
+		return err
+	}
+	if err := j.Reset(Record{Op: OpCheckpoint, Gen: 1}); err != nil {
+		j.Close()
+		return err
+	}
+	return j.Close()
+}
+
+// ReadManifest reads a store directory's manifest without opening it. fs
+// nil uses the OS.
+func ReadManifest(dir string, fs FS) (Manifest, error) {
+	fs = fsOrOS(fs)
+	data, err := readFile(fs, filepath.Join(dir, manifestName))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("wal: %s: read manifest: %w", dir, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return Manifest{}, fmt.Errorf("wal: %s: parse manifest: %w", dir, err)
+	}
+	if man.Generation == 0 || man.Base == "" {
+		return Manifest{}, fmt.Errorf("wal: %s: manifest missing generation or base", dir)
+	}
+	return man, nil
+}
+
+func writeManifest(fs FS, path string, man Manifest) error {
+	data, err := json.Marshal(man)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(fs, path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("wal: write manifest: %w", err)
+	}
+	return nil
+}
+
+// OpenStore opens the store in dir, recovering from any crash state:
+// leftover temp files are pruned, a journal belonging to an older
+// generation (crash between manifest flip and journal reset) is dropped,
+// and a torn journal tail is truncated. Every intact edge record of the
+// current generation is replayed through apply in append order. apply may
+// be nil to skip replay delivery (stat-style opens).
+func OpenStore(dir string, opts StoreOptions, apply func(Record) error) (*Store, error) {
+	opts = opts.withDefaults()
+	fs := opts.Journal.FS
+	man, err := ReadManifest(dir, fs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, fs: fs, opts: opts, man: man}
+	s.pruneLeftovers()
+
+	jpath := filepath.Join(dir, journalName)
+	if err := s.dropStaleJournal(jpath); err != nil {
+		return nil, err
+	}
+	guard := func(r Record) error {
+		if r.Op == OpCheckpoint {
+			if r.Gen != man.Generation {
+				return errStaleJournal
+			}
+			return nil
+		}
+		if apply != nil {
+			return apply(r)
+		}
+		return nil
+	}
+	j, err := Open(jpath, opts.Journal, guard)
+	if err != nil {
+		return nil, err
+	}
+	s.j = j
+	if j.Appended() == 0 {
+		// Fresh or fully-torn journal: stamp the current generation's head
+		// checkpoint so the next open can detect staleness.
+		if err := j.Reset(Record{Op: OpCheckpoint, Gen: man.Generation, Horizon: man.Horizon}); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// dropStaleJournal peeks at the journal's head record; if it is a
+// checkpoint for an older generation than the manifest, the whole journal
+// is already folded into the base (the crash hit between manifest flip and
+// journal reset) and is truncated to empty. Torn or missing heads are left
+// for Open's normal recovery.
+func (s *Store) dropStaleJournal(jpath string) error {
+	info, err := s.fs.Stat(jpath)
+	if err != nil || info.Size() == 0 {
+		return nil // no journal yet
+	}
+	f, err := s.fs.OpenFile(jpath, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: open journal %s: %w", jpath, err)
+	}
+	defer f.Close()
+	var head *Record
+	_, derr := DecodeStream(&sectionReader{f: f, size: info.Size()}, info.Size(), func(r Record) error {
+		head = &r
+		return errStopPeek
+	})
+	if derr != nil && derr != errStopPeek {
+		return nil // corrupt or torn head: Open will classify it
+	}
+	if head == nil || head.Op != OpCheckpoint || head.Gen >= s.man.Generation {
+		return nil
+	}
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: drop stale journal %s: %w", jpath, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: drop stale journal %s: %w", jpath, err)
+	}
+	return nil
+}
+
+var errStopPeek = errors.New("wal: stop peek")
+
+// pruneLeftovers removes temp files and base generations that a crashed
+// compaction may have left: bases newer than the manifest (written but
+// never flipped to) and bases older than the retention window.
+func (s *Store) pruneLeftovers() {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	keepFloor := uint64(1)
+	if g := s.man.Generation; g > uint64(s.opts.KeepGenerations-1) {
+		keepFloor = g - uint64(s.opts.KeepGenerations-1)
+	}
+	current := filepath.Base(s.man.Base)
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			s.fs.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		gen, ok := parseBaseName(name)
+		if !ok || name == current {
+			continue
+		}
+		if gen > s.man.Generation || gen < keepFloor {
+			s.fs.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+func baseName(gen uint64) string { return fmt.Sprintf("base-%06d.adj", gen) }
+
+func parseBaseName(name string) (uint64, bool) {
+	var gen uint64
+	if _, err := fmt.Sscanf(name, "base-%06d.adj", &gen); err != nil {
+		return 0, false
+	}
+	if name != baseName(gen) {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Manifest returns the current manifest.
+func (s *Store) Manifest() Manifest { return s.man }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// BasePath returns the current generation's adjacency file path, resolved
+// against the store directory when relative.
+func (s *Store) BasePath() string {
+	if filepath.IsAbs(s.man.Base) {
+		return s.man.Base
+	}
+	return filepath.Join(s.dir, s.man.Base)
+}
+
+// Journal returns the store's journal for appends and durability queries.
+func (s *Store) Journal() *Journal { return s.j }
+
+// Append journals one record (see Journal.Append for durability semantics).
+func (s *Store) Append(r Record) error { return s.j.Append(r) }
+
+// Compact folds the journal into a fresh base generation. writeBase must
+// write the new effective graph to the path it is given, durably and
+// atomically (Materialize's temp + fsync + rename does). Then the manifest
+// flips to the new generation with the same discipline and the journal is
+// reset to a head checkpoint. Readers holding the old base keep scanning it
+// untouched; a crash at any step leaves a state OpenStore recovers to
+// either the old generation (journal intact) or the new one (journal
+// folded or dropped as stale).
+//
+// On an error at or after the manifest flip the journal is poisoned —
+// further appends could be silently dropped as stale on the next open, so
+// they must not be acknowledged. The on-disk state remains recoverable;
+// reopen the store to resume.
+func (s *Store) Compact(ctx context.Context, writeBase func(ctx context.Context, path string) error) (Manifest, error) {
+	if err := ctx.Err(); err != nil {
+		return s.man, err
+	}
+	gen := s.man.Generation + 1
+	newBase := filepath.Join(s.dir, baseName(gen))
+	if err := writeBase(ctx, newBase); err != nil {
+		return s.man, fmt.Errorf("wal: compact: write generation %d base: %w", gen, err)
+	}
+	folded := s.j.Edges()
+	man := Manifest{Generation: gen, Base: baseName(gen), Horizon: s.man.Horizon + folded}
+	if err := writeManifest(s.fs, filepath.Join(s.dir, manifestName), man); err != nil {
+		// The flip may or may not have hit the disk; acknowledging further
+		// appends into a possibly-folded journal would risk double-apply or
+		// stale-drop. Poison and let recovery sort it out.
+		s.j.mu.Lock()
+		s.j.fail(fmt.Errorf("wal: compact: manifest flip failed: %w", err))
+		s.j.mu.Unlock()
+		return s.man, err
+	}
+	s.man = man
+	if err := s.j.Reset(Record{Op: OpCheckpoint, Gen: gen, Horizon: man.Horizon}); err != nil {
+		return s.man, fmt.Errorf("wal: compact: journal reset: %w", err)
+	}
+	// Retention: drop generation files that have scrolled out of the window
+	// (pruneLeftovers only ever touches base-NNNNNN.adj files inside dir).
+	s.pruneLeftovers()
+	return man, nil
+}
+
+// Close closes the journal.
+func (s *Store) Close() error {
+	if s.j == nil {
+		return nil
+	}
+	return s.j.Close()
+}

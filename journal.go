@@ -1,0 +1,323 @@
+package mis
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/wal"
+)
+
+// Journal is a Maintainer whose updates are durable: every acknowledged
+// InsertEdge/DeleteEdge is written to an append-only, CRC-checksummed
+// journal (internal/wal) before it is applied, so a crash or cancellation
+// loses nothing that was acknowledged. OpenJournal recovers by replaying
+// the journal into a fresh Maintainer delta — a torn tail (the one record
+// a crash can cut mid-write) is truncated, anything else damaged surfaces
+// as a typed *wal.CorruptError — and Compact folds the delta into a new
+// base generation crash-safely: new base written temp + fsync + rename,
+// manifest flipped the same way, journal reset last. Interrupted anywhere,
+// the next OpenJournal reads either the old or the new generation in full.
+//
+// Journal methods are safe for concurrent use. Updates block while a
+// Compact is in flight (readers of the previous generation's File are
+// unaffected — the old file is untouched until the manifest flips).
+type Journal struct {
+	mu    sync.Mutex
+	store *wal.Store
+	f     *File
+	m     *Maintainer
+	cfg   journalConfig
+}
+
+type journalConfig struct {
+	syncEvery    int
+	syncInterval time.Duration
+	keepGens     int
+	workers      int
+}
+
+// JournalOption customizes InitJournal and OpenJournal.
+type JournalOption func(*journalConfig)
+
+// SyncEvery sets the group-commit size trigger: an insert or delete is
+// acknowledged as durable once an fsync covers it, and one fsync covers up
+// to n acknowledged-but-volatile records. 1 (the default) fsyncs every
+// update before acknowledging it; larger values batch updates per fsync at
+// the cost of a bounded loss window (only un-fsynced tail records can
+// vanish in a crash — never a gap, always a suffix).
+func SyncEvery(n int) JournalOption {
+	return func(c *journalConfig) { c.syncEvery = n }
+}
+
+// SyncInterval adds a time trigger to group commit: pending records are
+// fsynced at least this often even when the SyncEvery threshold is not
+// reached. 0 (the default) disables the timer.
+func SyncInterval(d time.Duration) JournalOption {
+	return func(c *journalConfig) { c.syncInterval = d }
+}
+
+// KeepGenerations sets how many compacted base generations to retain in
+// the journal directory (current included; default 2). Older generation
+// files are pruned after a successful compaction.
+func KeepGenerations(n int) JournalOption {
+	return func(c *journalConfig) { c.keepGens = n }
+}
+
+// JournalWorkers sets the scan parallelism of the Files the journal opens
+// (see WithWorkers). Applies to the recovery Repair scan, Verify, and the
+// compaction materialize scan.
+func JournalWorkers(n int) JournalOption {
+	return func(c *journalConfig) { c.workers = n }
+}
+
+func (c *journalConfig) storeOptions() wal.StoreOptions {
+	return wal.StoreOptions{
+		Journal: wal.Options{
+			SyncEvery:    c.syncEvery,
+			SyncInterval: c.syncInterval,
+		},
+		KeepGenerations: c.keepGens,
+	}
+}
+
+func journalCfg(opts []JournalOption) journalConfig {
+	cfg := journalConfig{syncEvery: 1, workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// InitJournal creates a journal store in dir (made if absent) over the
+// adjacency file at base. The base file is referenced, not copied; the
+// first Compact writes its successor generation inside dir.
+func InitJournal(dir, base string, opts ...JournalOption) error {
+	cfg := journalCfg(opts)
+	return wal.InitStore(dir, base, cfg.storeOptions())
+}
+
+// OpenJournal opens the journal store in dir, recovering its state: the
+// current generation's base file is opened, every acknowledged update in
+// the journal is replayed into the delta (truncating a torn tail from a
+// crashed append), and one Repair scan rebuilds a maximal independent set
+// over the recovered effective graph. The recovered updates are always a
+// prefix of what was acknowledged — never a gap, never a torn suffix.
+func OpenJournal(ctx context.Context, dir string, opts ...JournalOption) (*Journal, error) {
+	cfg := journalCfg(opts)
+	man, err := wal.ReadManifest(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	base := man.Base
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(dir, base)
+	}
+	f, err := Open(base, WithWorkers(cfg.workers))
+	if err != nil {
+		return nil, fmt.Errorf("mis: journal base %s: %w", base, err)
+	}
+	inner, err := dynamic.New(f.inner, make([]bool, f.NumVertices()))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	const ctxCheckStride = 1024
+	var replayed uint64
+	store, err := wal.OpenStore(dir, cfg.storeOptions(), func(r wal.Record) error {
+		replayed++
+		if replayed%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		switch r.Op {
+		case wal.OpInsert:
+			return inner.InsertEdge(r.U, r.V)
+		case wal.OpDelete:
+			return inner.DeleteEdge(r.U, r.V)
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{
+		store: store,
+		f:     f,
+		m:     &Maintainer{inner: inner, file: f},
+		cfg:   cfg,
+	}
+	// The journal persists the graph, not the set: rebuild a maximal
+	// independent set over the recovered effective graph with one scan.
+	if _, err := inner.RepairCtx(ctx); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// InsertEdge durably adds the undirected edge {u, v}: validated, journaled
+// (fsynced per the SyncEvery/SyncInterval policy), then applied to the
+// maintained set. An error means the update was not acknowledged and will
+// not reappear after recovery.
+func (j *Journal) InsertEdge(u, v uint32) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.m.inner.CheckEdge(u, v); err != nil {
+		return err
+	}
+	if err := j.store.Append(wal.Record{Op: wal.OpInsert, U: u, V: v}); err != nil {
+		return err
+	}
+	return j.m.inner.InsertEdge(u, v)
+}
+
+// DeleteEdge durably removes the undirected edge {u, v} (see InsertEdge).
+func (j *Journal) DeleteEdge(u, v uint32) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.m.inner.CheckEdge(u, v); err != nil {
+		return err
+	}
+	if err := j.store.Append(wal.Record{Op: wal.OpDelete, U: u, V: v}); err != nil {
+		return err
+	}
+	return j.m.inner.DeleteEdge(u, v)
+}
+
+// Sync forces group commit: every acknowledged update is durable when it
+// returns. Useful before handing control away under SyncEvery > 1.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.store.Journal().Sync()
+}
+
+// Repair restores maximality of the maintained set with one scan (see
+// Maintainer.Repair). The set itself is not journaled — it is derived
+// state, rebuilt the same way on recovery.
+func (j *Journal) Repair(ctx context.Context) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.m.RepairCtx(ctx)
+}
+
+// Verify checks the independence invariant over base plus delta.
+func (j *Journal) Verify(ctx context.Context) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.m.VerifyCtx(ctx)
+}
+
+// Compact folds every journaled update into a fresh base generation:
+// the effective graph is materialized (temp + fsync + atomic rename) as
+// base-<gen>.adj in the journal directory, the manifest flips to it with
+// the same discipline, and the journal is truncated to a head checkpoint.
+// The maintained set carries over unchanged — the effective graph is
+// identical, only its durable home moved. Updates block for the duration;
+// a crash at any step recovers to the old or the new generation, whole.
+//
+// The previous generation's File is closed: File() returns the new
+// generation's handle afterwards.
+func (j *Journal) Compact(ctx context.Context) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := j.store.Compact(ctx, func(ctx context.Context, path string) error {
+		return j.m.inner.MaterializeCtx(ctx, path)
+	})
+	if err != nil {
+		return err
+	}
+	newF, err := Open(j.store.BasePath(), WithWorkers(j.cfg.workers))
+	if err != nil {
+		return fmt.Errorf("mis: reopen compacted base: %w", err)
+	}
+	inner, err := dynamic.New(newF.inner, j.m.inner.Set())
+	if err != nil {
+		newF.Close()
+		return err
+	}
+	if j.m.inner.Dirty() {
+		inner.MarkDirty()
+	}
+	j.f.Close()
+	j.f = newF
+	j.m = &Maintainer{inner: inner, file: newF}
+	return nil
+}
+
+// File returns the current generation's adjacency file — run solvers
+// against it for a fresh optimization after Compact. The handle is owned
+// by the Journal: Compact and Close invalidate it.
+func (j *Journal) File() *File {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f
+}
+
+// Maintainer returns the live maintainer (set queries, Result snapshots).
+// Like File, the handle is replaced by Compact; re-fetch after compacting.
+func (j *Journal) Maintainer() *Maintainer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.m
+}
+
+// Result snapshots the maintained set.
+func (j *Journal) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.m.Result()
+}
+
+// Stats reports the journal's durability counters and generation state.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	man := j.store.Manifest()
+	wj := j.store.Journal()
+	return JournalStats{
+		Generation:      man.Generation,
+		Horizon:         man.Horizon,
+		BasePath:        j.store.BasePath(),
+		JournalRecords:  wj.Appended(),
+		DurableRecords:  wj.Durable(),
+		JournalEdges:    wj.Edges(),
+		JournalBytes:    wj.Size(),
+		TornBytesOnOpen: wj.TornBytes(),
+		DeltaEdges:      j.m.DeltaEdges(),
+		SetSize:         j.m.Size(),
+		Dirty:           j.m.Dirty(),
+	}
+}
+
+// JournalStats is a snapshot of a Journal's durable and in-memory state.
+type JournalStats struct {
+	Generation      uint64 // current base generation (compaction count + 1)
+	Horizon         uint64 // edge records folded into the base, cumulative
+	BasePath        string // current generation's adjacency file
+	JournalRecords  uint64 // records in the journal (head checkpoint included)
+	DurableRecords  uint64 // records covered by a completed fsync
+	JournalEdges    uint64 // edge records awaiting compaction
+	JournalBytes    int64  // journal file size
+	TornBytesOnOpen int64  // torn tail discarded during recovery, if any
+	DeltaEdges      int    // in-memory delta entries (inserts + tombstones)
+	SetSize         int    // maintained independent-set size
+	Dirty           bool   // maximality possibly violated (Repair pending)
+}
+
+// Close commits pending records and releases the journal and base file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.store.Close()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
