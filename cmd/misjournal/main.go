@@ -17,9 +17,11 @@
 // with group commit (-sync-every / -sync-interval) before it is applied,
 // so a crash — or a SIGINT mid-stream — loses at most the updates an fsync
 // had not yet covered, and recovery on the next open replays a clean
-// acknowledged prefix. compact folds the journal into a new base
-// generation crash-safely: interrupted at any step, the store reopens to
-// either the old or the new generation, whole.
+// acknowledged prefix. The journal is segmented (-segment-size sets the
+// rotation threshold) and compact folds only the sealed segments into a new
+// base generation crash-safely: interrupted at any step, the store reopens
+// to either the old or the new generation, whole. stat is read-only — it
+// never writes to the store and is safe while another process has it open.
 package main
 
 import (
@@ -47,7 +49,7 @@ func usage(stderr io.Writer) int {
 
   init    -dir <store> <graph.adj>   create a journal store over a base file
   apply   -dir <store> [flags]       journal edge ops from stdin ("i U V" / "d U V")
-  stat    -dir <store>               print manifest and journal state
+  stat    -dir <store>               print manifest and journal state (read-only)
   verify  -dir <store>               recover, repair, and verify the set
   compact -dir <store>               fold the journal into a new generation`)
 	return 2
@@ -66,6 +68,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		syncEvery    = fs.Int("sync-every", 1, "group-commit size trigger: updates acknowledged per fsync")
 		syncInterval = fs.Duration("sync-interval", 0, "group-commit time trigger (0 = off)")
 		keep         = fs.Int("keep-generations", 2, "compacted base generations to retain")
+		segSize      = fs.Int64("segment-size", 0, "journal segment rotation threshold in bytes (0 = 16MiB default, negative = never rotate on size)")
 		workers      = fs.Int("workers", 1, "scan parallelism for recovery/verify/compaction scans")
 		timeout      = fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
 		repair       = fs.Bool("repair", true, "restore maximality before reporting (apply/verify)")
@@ -86,6 +89,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		mis.SyncEvery(*syncEvery),
 		mis.SyncInterval(*syncInterval),
 		mis.KeepGenerations(*keep),
+		mis.SegmentSize(*segSize),
 		mis.JournalWorkers(*workers),
 	}
 
@@ -111,7 +115,6 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if err != nil {
 			return fail(err)
 		}
-		defer j.Close()
 		applied, err := applyStream(ctx, j, stdin)
 		if err != nil {
 			// Everything acknowledged so far is journaled; report and keep it.
@@ -119,32 +122,47 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			if serr := j.Sync(); serr == nil {
 				fmt.Fprintf(stdout, "acknowledged %d updates (durable)\n", applied)
 			}
+			j.Close()
 			return 1
 		}
 		if *repair {
 			if _, err := j.Repair(ctx); err != nil {
+				j.Close()
 				return fail(err)
 			}
 		}
 		st := j.Stats()
+		// Under -sync-every > 1 the final group commit happens inside Close:
+		// the acknowledged tail is durable only once it returns nil, so a
+		// failed last fsync must fail the command, not print success.
+		if err := j.Close(); err != nil {
+			return fail(fmt.Errorf("final commit: %w", err))
+		}
 		fmt.Fprintf(stdout, "applied %d updates: journal %d edges (%d records, %s), |IS| = %d, delta = %d\n",
 			applied, st.JournalEdges, st.JournalRecords, formatBytes(uint64(st.JournalBytes)), st.SetSize, st.DeltaEdges)
 		return 0
 
 	case "stat":
-		j, err := mis.OpenJournal(ctx, *dir, opts...)
+		// Read-only: StatJournal walks the manifest and journal segments
+		// without opening the store for writes — no checkpoint stamping, no
+		// torn-tail truncation, no recovery repair scan — so stat is
+		// O(journal) and safe on a store another process has open.
+		st, err := mis.StatJournal(*dir, opts...)
 		if err != nil {
 			return fail(err)
 		}
-		defer j.Close()
-		st := j.Stats()
 		fmt.Fprintf(stdout, "generation: %d\nbase: %s\nhorizon: %d edge records folded\n", st.Generation, st.BasePath, st.Horizon)
+		fmt.Fprintf(stdout, "segments: %d live, active #%d, folded through #%d\n",
+			st.Segments, st.ActiveSegment, st.FoldedSegment)
 		fmt.Fprintf(stdout, "journal: %d records (%d edges, %d durable), %s\n",
 			st.JournalRecords, st.JournalEdges, st.DurableRecords, formatBytes(uint64(st.JournalBytes)))
 		if st.TornBytesOnOpen > 0 {
-			fmt.Fprintf(stdout, "recovered: truncated %d torn tail bytes\n", st.TornBytesOnOpen)
+			fmt.Fprintf(stdout, "torn tail: %d bytes (truncated by the next open)\n", st.TornBytesOnOpen)
 		}
-		fmt.Fprintf(stdout, "delta: %d edges in memory\nset: %d vertices (dirty=%v)\n", st.DeltaEdges, st.SetSize, st.Dirty)
+		fmt.Fprintf(stdout, "delta: %d edges journaled since the last fold\n", st.DeltaEdges)
+		if st.Err != nil {
+			fmt.Fprintf(stdout, "error: %v\n", st.Err)
+		}
 		return 0
 
 	case "verify":

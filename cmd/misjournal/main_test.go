@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -104,6 +106,113 @@ func TestJournalRelativeBasePath(t *testing.T) {
 	if code := run(ctx, []string{"verify", "-dir", "store"},
 		strings.NewReader(""), &stdout, &stderr); code != 0 {
 		t.Fatalf("verify exit %d: %s", code, stderr.String())
+	}
+}
+
+// dirSnapshot captures every file's bytes under dir for exact comparison.
+func dirSnapshot(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make(map[string]string, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[e.Name()] = string(data)
+	}
+	return snap
+}
+
+// TestStatIsReadOnly pins the stat contract: correct numbers without
+// writing one byte to the store — in particular no head-checkpoint stamp on
+// a store whose journal has never taken an append.
+func TestStatIsReadOnly(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.adj")
+	if err := gio.WriteGraphSorted(base, plrg.Path(20), nil); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "store")
+	var stdout, stderr bytes.Buffer
+	exec := func(args ...string) int {
+		stdout.Reset()
+		stderr.Reset()
+		return run(ctx, args, strings.NewReader(""), &stdout, &stderr)
+	}
+	if code := exec("init", "-dir", store, base); code != 0 {
+		t.Fatalf("init exit %d: %s", code, stderr.String())
+	}
+	before := dirSnapshot(t, store)
+	if code := exec("stat", "-dir", store); code != 0 {
+		t.Fatalf("stat exit %d: %s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "generation: 1") ||
+		!strings.Contains(out, "segments: 1 live, active #1") {
+		t.Fatalf("stat output %q", out)
+	}
+	after := dirSnapshot(t, store)
+	if len(before) != len(after) {
+		t.Fatalf("stat changed the store's file set: %d -> %d files", len(before), len(after))
+	}
+	for name, data := range before {
+		if after[name] != data {
+			t.Fatalf("stat modified %s", name)
+		}
+	}
+}
+
+// TestSegmentSizeFlag drives rotation from the CLI: a tiny -segment-size
+// splits a short apply stream across segments and stat reports them.
+func TestSegmentSizeFlag(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.adj")
+	if err := gio.WriteGraphSorted(base, plrg.ErdosRenyi(50, 100, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "store")
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"init", "-dir", store, base},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("init exit %d: %s", code, stderr.String())
+	}
+	// 12 inserts at 17 bytes each across a 100-byte threshold → 3 segments.
+	var ops strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&ops, "i %d %d\n", i, i+13)
+	}
+	stdout.Reset()
+	if code := run(ctx, []string{"apply", "-dir", store, "-segment-size", "100"},
+		strings.NewReader(ops.String()), &stdout, &stderr); code != 0 {
+		t.Fatalf("apply exit %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run(ctx, []string{"stat", "-dir", store},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("stat exit %d: %s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "segments: 3 live, active #3") ||
+		!strings.Contains(out, "12 edges") {
+		t.Fatalf("stat output %q", out)
+	}
+	// Compact folds the sealed segments and the store keeps verifying.
+	stdout.Reset()
+	if code := run(ctx, []string{"compact", "-dir", store},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("compact exit %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run(ctx, []string{"verify", "-dir", store},
+		strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("verify exit %d: %s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "generation 2") {
+		t.Fatalf("verify output %q", out)
 	}
 }
 

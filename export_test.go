@@ -1,0 +1,18 @@
+package mis
+
+import "repro/internal/wal"
+
+// JournalFSForTest injects a wal.FS (the fault-injection seam) into the
+// store a Journal opens, so root-level tests can kill or fail the journal's
+// filesystem operations mid-compaction.
+func JournalFSForTest(fs wal.FS) JournalOption {
+	return func(c *journalConfig) { c.fs = fs }
+}
+
+// SetOpenBaseForTest swaps the seam Compact uses to open the freshly
+// materialized generation, returning a restore func.
+func SetOpenBaseForTest(open func(path string, workers int) (*File, error)) (restore func()) {
+	old := openBase
+	openBase = open
+	return func() { openBase = old }
+}

@@ -90,6 +90,36 @@ func (m *Maintainer) Set() []bool { return append([]bool(nil), m.inSet...) }
 // restore it).
 func (m *Maintainer) Dirty() bool { return m.dirty }
 
+// Snapshot returns an independent deep copy of the maintainer, for reading
+// a frozen delta while the original keeps taking updates — the online
+// compaction materializes the fold from a snapshot. The copy scans through
+// its own view of the base file (gio.File.WithCounters), so a snapshot scan
+// and a concurrent Repair or Verify on the original never race on the
+// file's scan state; the shared descriptor is read positionally.
+func (m *Maintainer) Snapshot() *Maintainer {
+	c := &Maintainer{
+		f:         m.f.WithCounters(m.f.Stats()),
+		n:         m.n,
+		inSet:     append([]bool(nil), m.inSet...),
+		size:      m.size,
+		addedAdj:  make(map[uint32][]uint32, len(m.addedAdj)),
+		added:     make(map[uint64]struct{}, len(m.added)),
+		tombstone: make(map[uint64]struct{}, len(m.tombstone)),
+		dirty:     m.dirty,
+		evictions: m.evictions,
+	}
+	for u, ns := range m.addedAdj {
+		c.addedAdj[u] = append([]uint32(nil), ns...)
+	}
+	for k := range m.added {
+		c.added[k] = struct{}{}
+	}
+	for k := range m.tombstone {
+		c.tombstone[k] = struct{}{}
+	}
+	return c
+}
+
 // Evictions returns how many set vertices were evicted by edge insertions.
 func (m *Maintainer) Evictions() int { return m.evictions }
 

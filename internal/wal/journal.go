@@ -144,6 +144,13 @@ func (j *Journal) Size() int64 { j.mu.Lock(); defer j.mu.Unlock(); return j.size
 // TornBytes reports how many trailing bytes Open discarded as a torn write.
 func (j *Journal) TornBytes() int64 { return j.torn }
 
+// Err returns the journal's sticky error: non-nil once any write or fsync
+// has failed, including a background SyncInterval commit. Callers that
+// appended under SyncEvery > 1 and then went quiet must poll this (or call
+// Sync) to learn that acknowledged-but-volatile records were lost — the
+// failed ticker commit otherwise has no call to surface through.
+func (j *Journal) Err() error { j.mu.Lock(); defer j.mu.Unlock(); return j.err }
+
 // Append writes r to the journal. When the record triggers the group-commit
 // size threshold the call blocks until an fsync covers it — shared with
 // every other appender waiting on the same batch — and returns only once
@@ -321,6 +328,9 @@ func (j *Journal) tickLoop(interval time.Duration) {
 		case <-t.C:
 			j.mu.Lock()
 			if j.err == nil && !j.closed && j.durable < j.appended {
+				// A failed background commit poisons the journal (fail sets
+				// the sticky error inside commitLocked); with no caller on
+				// this path it surfaces through Err and the next Append.
 				j.commitLocked(j.appended)
 			}
 			j.mu.Unlock()

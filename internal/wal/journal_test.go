@@ -208,6 +208,43 @@ func TestSyncIntervalTimer(t *testing.T) {
 	}
 }
 
+// TestTickerFaultSurfacesThroughErr pins the fix for silently dropped
+// background fsync errors: under SyncInterval, a failed ticker commit must
+// poison the journal so a caller that stops appending still learns — via
+// Err, without waiting for a next Append — that acknowledged-but-volatile
+// records were lost.
+func TestTickerFaultSurfacesThroughErr(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	ffs := NewFaultFS(nil)
+	j, _ := openJournal(t, path, Options{SyncEvery: 1000, SyncInterval: 2 * time.Millisecond, FS: ffs})
+	defer j.Close()
+	// Arm before the append: op 1 is the append's write (passes through),
+	// op 2 is the background ticker's fsync — the failure with no caller
+	// around to see it. (The ticker issues no FS ops while nothing is
+	// pending, so it cannot consume the armed op early.)
+	ffs.Arm(2, FailOp)
+	if err := j.Append(edge(OpInsert, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("failed background commit never surfaced through Err")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(j.Err(), ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", j.Err())
+	}
+	if j.Durable() != 0 {
+		t.Fatalf("durable %d after failed background commit, want 0", j.Durable())
+	}
+	// The sticky error also rejects every later append.
+	if err := j.Append(edge(OpInsert, 3, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append after poisoned ticker commit: %v", err)
+	}
+}
+
 // countingFS counts fsync calls so the group-commit test can show many
 // acknowledged appends sharing fewer fsyncs.
 type countingFS struct {

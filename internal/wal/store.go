@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // Manifest names the current generation of a Store: which base adjacency
@@ -26,11 +28,28 @@ type Manifest struct {
 	// Horizon is the cumulative count of edge records folded into Base by
 	// compactions — a monotone logical clock over the update stream.
 	Horizon uint64 `json:"horizon"`
+	// FoldedSegment is the highest journal segment sequence folded into
+	// Base: recovery replays exactly the segments after it. 0 (also the
+	// value decoded from pre-segment manifests) means no segment has been
+	// folded. The field advances in the same atomic manifest flip as
+	// Generation, which is what makes compaction safe to run while the
+	// active segment keeps accepting appends — there is no window where the
+	// generation and the fold watermark disagree.
+	FoldedSegment uint64 `json:"folded_segment,omitempty"`
 }
 
 const (
 	manifestName = "MANIFEST"
-	journalName  = "journal.wal"
+	// journalName is the pre-segmentation single-file journal. Stores laid
+	// out by older versions keep opening: the file is read as segment 1 and
+	// scrolls out of existence at the first compaction.
+	journalName = "journal.wal"
+
+	// DefaultSegmentSize is the rotation threshold when StoreOptions leaves
+	// SegmentSize at 0: once the active segment reaches it, the segment is
+	// sealed and a successor opened, so no single compaction ever has to
+	// fold an unbounded file.
+	DefaultSegmentSize = 16 << 20
 )
 
 // StoreOptions configures OpenStore/InitStore.
@@ -44,6 +63,11 @@ type StoreOptions struct {
 	// outside the directory, is never touched. ≤ 0 means 2 (current +
 	// previous).
 	KeepGenerations int
+	// SegmentSize is the journal rotation threshold in bytes: an append
+	// that grows the active segment to it or beyond seals the segment
+	// (fsync) and opens a successor. 0 selects DefaultSegmentSize; negative
+	// disables size-triggered rotation (compaction still rotates once).
+	SegmentSize int64
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -51,28 +75,51 @@ func (o StoreOptions) withDefaults() StoreOptions {
 	if o.KeepGenerations <= 0 {
 		o.KeepGenerations = 2
 	}
+	if o.SegmentSize == 0 {
+		o.SegmentSize = DefaultSegmentSize
+	}
 	return o
 }
 
-// Store ties a manifest, a base adjacency file, and the journal into one
-// durable home for a dynamic graph. Methods are not safe for concurrent use
-// (the journal itself is; callers serialize Compact against appends).
+// Store ties a manifest, a base adjacency file, and a segmented journal
+// into one durable home for a dynamic graph. The journal is a sequence of
+// numbered segments: sealed segments are immutable (fsynced through their
+// last byte) and only the highest-numbered segment takes appends. Methods
+// are safe for concurrent use; in particular Append keeps working while a
+// BeginCompact/CommitCompact window folds the sealed segments.
 type Store struct {
 	dir  string
 	fs   FS
 	opts StoreOptions
-	man  Manifest
-	j    *Journal
+
+	mu         sync.Mutex
+	man        Manifest
+	sealed     []segmentInfo // unfolded sealed segments, ascending sequence
+	active     *Journal
+	activeSeq  uint64
+	compacting bool
+	torn       int64 // torn bytes discarded across all segments during open
 }
 
-// errStaleJournal aborts replay when the journal's head checkpoint belongs
-// to an older generation than the manifest: its records are already folded
-// into the base, so replaying them would double-apply.
-var errStaleJournal = errors.New("wal: journal is stale (older generation than manifest)")
+// segmentInfo is the replay-time accounting for one sealed segment.
+type segmentInfo struct {
+	seq     uint64
+	path    string
+	records uint64 // all records, head checkpoint included
+	edges   uint64 // edge (non-checkpoint) records
+	bytes   int64
+}
+
+// segFile is one discovered on-disk segment.
+type segFile struct {
+	seq    uint64
+	path   string
+	legacy bool // the pre-segmentation journal.wal, read as sequence 1
+}
 
 // InitStore creates a store in dir (made if absent) whose generation-1 base
-// is the adjacency file at base, with an empty journal. It fails if dir
-// already holds a manifest.
+// is the adjacency file at base, with an empty journal segment. It fails if
+// dir already holds a manifest.
 func InitStore(dir, base string, opts StoreOptions) error {
 	opts = opts.withDefaults()
 	fs := opts.Journal.FS
@@ -99,7 +146,7 @@ func InitStore(dir, base string, opts StoreOptions) error {
 	if err := writeManifest(fs, mpath, man); err != nil {
 		return err
 	}
-	j, err := Open(filepath.Join(dir, journalName), opts.Journal, nil)
+	j, err := Open(filepath.Join(dir, segmentName(1)), opts.Journal, nil)
 	if err != nil {
 		return err
 	}
@@ -140,11 +187,13 @@ func writeManifest(fs FS, path string, man Manifest) error {
 }
 
 // OpenStore opens the store in dir, recovering from any crash state:
-// leftover temp files are pruned, a journal belonging to an older
-// generation (crash between manifest flip and journal reset) is dropped,
-// and a torn journal tail is truncated. Every intact edge record of the
-// current generation is replayed through apply in append order. apply may
-// be nil to skip replay delivery (stat-style opens).
+// leftover temp files and never-flipped bases are pruned, segments at or
+// below the manifest's fold watermark (crash between manifest flip and
+// segment removal) are deleted, a legacy journal belonging to an older
+// generation is dropped, and a torn tail of the active segment is
+// truncated. Every intact edge record after the fold watermark is replayed
+// through apply in append order — sealed segments first, then the active
+// one. apply may be nil to skip replay delivery.
 func OpenStore(dir string, opts StoreOptions, apply func(Record) error) (*Store, error) {
 	opts = opts.withDefaults()
 	fs := opts.Journal.FS
@@ -155,15 +204,30 @@ func OpenStore(dir string, opts StoreOptions, apply func(Record) error) (*Store,
 	s := &Store{dir: dir, fs: fs, opts: opts, man: man}
 	s.pruneLeftovers()
 
-	jpath := filepath.Join(dir, journalName)
-	if err := s.dropStaleJournal(jpath); err != nil {
+	segs, err := discoverSegments(fs, dir)
+	if err != nil {
 		return nil, err
 	}
-	guard := func(r Record) error {
+	live := segs[:0]
+	for _, sf := range segs {
+		if sf.seq <= man.FoldedSegment {
+			// Folded into the base by a compaction whose cleanup a crash
+			// interrupted: already counted in Horizon, remove.
+			s.fs.Remove(sf.path)
+			continue
+		}
+		live = append(live, sf)
+	}
+	if len(live) > 0 && live[0].legacy {
+		// Pre-segmentation stores have no fold watermark; a crash between
+		// their manifest flip and journal reset is detected by the head
+		// checkpoint's generation instead.
+		if err := s.dropStaleJournal(live[0].path); err != nil {
+			return nil, err
+		}
+	}
+	emit := func(r Record) error {
 		if r.Op == OpCheckpoint {
-			if r.Gen != man.Generation {
-				return errStaleJournal
-			}
 			return nil
 		}
 		if apply != nil {
@@ -171,15 +235,33 @@ func OpenStore(dir string, opts StoreOptions, apply func(Record) error) (*Store,
 		}
 		return nil
 	}
-	j, err := Open(jpath, opts.Journal, guard)
+	var activePath string
+	var activeSeq uint64
+	if len(live) == 0 {
+		activeSeq = man.FoldedSegment + 1
+		activePath = filepath.Join(dir, segmentName(activeSeq))
+	} else {
+		for _, sf := range live[:len(live)-1] {
+			info, err := replaySealed(fs, sf, emit)
+			if err != nil {
+				return nil, err
+			}
+			s.sealed = append(s.sealed, info)
+		}
+		last := live[len(live)-1]
+		activeSeq, activePath = last.seq, last.path
+	}
+	j, err := Open(activePath, opts.Journal, emit)
 	if err != nil {
 		return nil, err
 	}
-	s.j = j
+	s.active, s.activeSeq = j, activeSeq
+	s.torn += j.TornBytes()
 	if j.Appended() == 0 {
-		// Fresh or fully-torn journal: stamp the current generation's head
-		// checkpoint so the next open can detect staleness.
-		if err := j.Reset(Record{Op: OpCheckpoint, Gen: man.Generation, Horizon: man.Horizon}); err != nil {
+		// Fresh or fully-torn active segment: stamp the head checkpoint
+		// with the generation and the cumulative horizon at this segment's
+		// start, so the next open can place it.
+		if err := j.Reset(Record{Op: OpCheckpoint, Gen: man.Generation, Horizon: s.horizonAtActive()}); err != nil {
 			j.Close()
 			return nil, err
 		}
@@ -187,32 +269,80 @@ func OpenStore(dir string, opts StoreOptions, apply func(Record) error) (*Store,
 	return s, nil
 }
 
-// dropStaleJournal peeks at the journal's head record; if it is a
+// horizonAtActive is the logical clock at the start of the active segment:
+// records folded into the base plus edge records in the unfolded sealed
+// prefix. Called with s.mu held (or before the store is shared).
+func (s *Store) horizonAtActive() uint64 {
+	h := s.man.Horizon
+	for _, seg := range s.sealed {
+		h += seg.edges
+	}
+	return h
+}
+
+// replaySegment decodes one segment file through emit without mutating it,
+// reporting how many trailing bytes fail to decode as a complete record.
+// The caller decides whether a torn tail is a crash artifact (final, active
+// segment) or damage (sealed segments are fsynced through their last byte
+// before a successor exists, so any tear there is a *CorruptError).
+func replaySegment(fs FS, sf segFile, emit func(Record) error) (segmentInfo, int64, error) {
+	info := segmentInfo{seq: sf.seq, path: sf.path}
+	st, err := fs.Stat(sf.path)
+	if err != nil {
+		return info, 0, fmt.Errorf("wal: stat segment %s: %w", sf.path, err)
+	}
+	f, err := fs.OpenFile(sf.path, os.O_RDONLY, 0)
+	if err != nil {
+		return info, 0, fmt.Errorf("wal: open segment %s: %w", sf.path, err)
+	}
+	defer f.Close()
+	size := st.Size()
+	clean, err := DecodeStream(&sectionReader{f: f, size: size}, size, func(r Record) error {
+		info.records++
+		if r.Op != OpCheckpoint {
+			info.edges++
+		}
+		return emit(r)
+	})
+	if err != nil {
+		if ce, ok := err.(*CorruptError); ok {
+			ce.Path = sf.path
+		}
+		return info, 0, err
+	}
+	info.bytes = clean
+	return info, size - clean, nil
+}
+
+func replaySealed(fs FS, sf segFile, emit func(Record) error) (segmentInfo, error) {
+	info, torn, err := replaySegment(fs, sf, emit)
+	if err != nil {
+		return info, err
+	}
+	if torn > 0 {
+		return info, &CorruptError{Path: sf.path, Offset: info.bytes, Reason: "torn tail in a sealed segment"}
+	}
+	return info, nil
+}
+
+// dropStaleJournal peeks at a legacy journal's head record; if it is a
 // checkpoint for an older generation than the manifest, the whole journal
-// is already folded into the base (the crash hit between manifest flip and
-// journal reset) and is truncated to empty. Torn or missing heads are left
-// for Open's normal recovery.
+// is already folded into the base (the crash hit between a pre-segmentation
+// manifest flip and journal reset) and is truncated to empty. Torn or
+// missing heads are left for Open's normal recovery.
 func (s *Store) dropStaleJournal(jpath string) error {
-	info, err := s.fs.Stat(jpath)
-	if err != nil || info.Size() == 0 {
-		return nil // no journal yet
+	head, err := peekHead(s.fs, jpath)
+	if err != nil || head == nil {
+		return err
+	}
+	if head.Op != OpCheckpoint || head.Gen >= s.man.Generation {
+		return nil
 	}
 	f, err := s.fs.OpenFile(jpath, os.O_RDWR, 0)
 	if err != nil {
 		return fmt.Errorf("wal: open journal %s: %w", jpath, err)
 	}
 	defer f.Close()
-	var head *Record
-	_, derr := DecodeStream(&sectionReader{f: f, size: info.Size()}, info.Size(), func(r Record) error {
-		head = &r
-		return errStopPeek
-	})
-	if derr != nil && derr != errStopPeek {
-		return nil // corrupt or torn head: Open will classify it
-	}
-	if head == nil || head.Op != OpCheckpoint || head.Gen >= s.man.Generation {
-		return nil
-	}
 	if err := f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: drop stale journal %s: %w", jpath, err)
 	}
@@ -222,11 +352,64 @@ func (s *Store) dropStaleJournal(jpath string) error {
 	return nil
 }
 
+// peekHead reads a journal's first record without mutating the file. A
+// missing, empty, torn, or corrupt head returns (nil, nil) — the caller's
+// normal open path classifies it.
+func peekHead(fs FS, path string) (*Record, error) {
+	info, err := fs.Stat(path)
+	if err != nil || info.Size() == 0 {
+		return nil, nil
+	}
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open journal %s: %w", path, err)
+	}
+	defer f.Close()
+	var head *Record
+	_, derr := DecodeStream(&sectionReader{f: f, size: info.Size()}, info.Size(), func(r Record) error {
+		head = &r
+		return errStopPeek
+	})
+	if derr != nil && derr != errStopPeek {
+		return nil, nil
+	}
+	return head, nil
+}
+
 var errStopPeek = errors.New("wal: stop peek")
+
+// discoverSegments lists the journal segments in dir, ascending by
+// sequence. The legacy single-file journal.wal reads as sequence 1.
+func discoverSegments(fs FS, dir string) ([]segFile, error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %s: list segments: %w", dir, err)
+	}
+	var segs []segFile
+	for _, e := range entries {
+		name := e.Name()
+		if name == journalName {
+			segs = append(segs, segFile{seq: 1, path: filepath.Join(dir, name), legacy: true})
+			continue
+		}
+		if seq, ok := parseSegmentName(name); ok {
+			segs = append(segs, segFile{seq: seq, path: filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].seq == segs[i-1].seq {
+			return nil, fmt.Errorf("wal: %s: duplicate journal segment %d (%s and %s)",
+				dir, segs[i].seq, filepath.Base(segs[i-1].path), filepath.Base(segs[i].path))
+		}
+	}
+	return segs, nil
+}
 
 // pruneLeftovers removes temp files and base generations that a crashed
 // compaction may have left: bases newer than the manifest (written but
-// never flipped to) and bases older than the retention window.
+// never flipped to) and bases older than the retention window. Called with
+// s.mu held or before the store is shared.
 func (s *Store) pruneLeftovers() {
 	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
@@ -266,8 +449,25 @@ func parseBaseName(name string) (uint64, bool) {
 	return gen, true
 }
 
+func segmentName(seq uint64) string { return fmt.Sprintf("journal-%06d.wal", seq) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "journal-%06d.wal", &seq); err != nil {
+		return 0, false
+	}
+	if name != segmentName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
 // Manifest returns the current manifest.
-func (s *Store) Manifest() Manifest { return s.man }
+func (s *Store) Manifest() Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man
+}
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
@@ -275,65 +475,317 @@ func (s *Store) Dir() string { return s.dir }
 // BasePath returns the current generation's adjacency file path, resolved
 // against the store directory when relative.
 func (s *Store) BasePath() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.basePathLocked()
+}
+
+func (s *Store) basePathLocked() string {
 	if filepath.IsAbs(s.man.Base) {
 		return s.man.Base
 	}
 	return filepath.Join(s.dir, s.man.Base)
 }
 
-// Journal returns the store's journal for appends and durability queries.
-func (s *Store) Journal() *Journal { return s.j }
+// Journal returns the active segment's journal for durability queries.
+// Counters cover the active segment only; Stats aggregates all live
+// segments.
+func (s *Store) Journal() *Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
 
-// Append journals one record (see Journal.Append for durability semantics).
-func (s *Store) Append(r Record) error { return s.j.Append(r) }
+// Err returns the active journal's sticky error: non-nil once a write or
+// fsync — including a background SyncInterval commit — has failed, meaning
+// acknowledged-but-volatile records may be lost. See Journal.Err.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	j := s.active
+	s.mu.Unlock()
+	return j.Err()
+}
 
-// Compact folds the journal into a fresh base generation. writeBase must
-// write the new effective graph to the path it is given, durably and
-// atomically (Materialize's temp + fsync + rename does). Then the manifest
-// flips to the new generation with the same discipline and the journal is
-// reset to a head checkpoint. Readers holding the old base keep scanning it
-// untouched; a crash at any step leaves a state OpenStore recovers to
-// either the old generation (journal intact) or the new one (journal
-// folded or dropped as stale).
-//
-// On an error at or after the manifest flip the journal is poisoned —
-// further appends could be silently dropped as stale on the next open, so
-// they must not be acknowledged. The on-disk state remains recoverable;
-// reopen the store to resume.
-func (s *Store) Compact(ctx context.Context, writeBase func(ctx context.Context, path string) error) (Manifest, error) {
-	if err := ctx.Err(); err != nil {
-		return s.man, err
+// Sync forces group commit on the active segment.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	j := s.active
+	s.mu.Unlock()
+	return j.Sync()
+}
+
+// Append journals one record in the active segment (see Journal.Append for
+// durability semantics) and rotates the segment once it reaches the size
+// threshold: the old segment is sealed with an fsync and a successor opens
+// with a head checkpoint carrying the generation and cumulative horizon. A
+// failed rotation never fails the append (the record is already durable per
+// policy); it is retried on the next append and surfaced by BeginCompact.
+func (s *Store) Append(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.active.Append(r); err != nil {
+		return err
 	}
-	gen := s.man.Generation + 1
-	newBase := filepath.Join(s.dir, baseName(gen))
-	if err := writeBase(ctx, newBase); err != nil {
-		return s.man, fmt.Errorf("wal: compact: write generation %d base: %w", gen, err)
+	if s.opts.SegmentSize > 0 && s.active.Size() >= s.opts.SegmentSize {
+		s.rotateLocked()
 	}
-	folded := s.j.Edges()
-	man := Manifest{Generation: gen, Base: baseName(gen), Horizon: s.man.Horizon + folded}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens its successor. Order
+// matters for crash safety: the seal fsync lands before the successor file
+// exists, so recovery can treat a torn tail in any non-final segment as
+// damage rather than a crash artifact. On failure the current active
+// segment stays active (possibly oversized); nothing is lost.
+func (s *Store) rotateLocked() error {
+	if err := s.active.Sync(); err != nil {
+		return err
+	}
+	nextSeq := s.activeSeq + 1
+	path := filepath.Join(s.dir, segmentName(nextSeq))
+	cp := Record{Op: OpCheckpoint, Gen: s.man.Generation, Horizon: s.horizonAtActive() + s.active.Edges()}
+	next, err := Open(path, s.opts.Journal, nil)
+	if err != nil {
+		return err
+	}
+	if err := next.Reset(cp); err != nil {
+		next.Close()
+		s.fs.Remove(path)
+		return err
+	}
+	old := s.active
+	info := segmentInfo{seq: s.activeSeq, path: old.Path(), records: old.Appended(), edges: old.Edges(), bytes: old.Size()}
+	if err := old.Close(); err != nil {
+		next.Close()
+		s.fs.Remove(path)
+		return err
+	}
+	s.sealed = append(s.sealed, info)
+	s.active, s.activeSeq = next, nextSeq
+	return nil
+}
+
+// Compaction is an open BeginCompact window: the sealed-segment prefix
+// being folded and where the new generation's base must be written.
+type Compaction struct {
+	// Gen is the generation the compaction will flip to.
+	Gen uint64
+	// BasePath is where the caller must durably and atomically write the
+	// new base (Materialize's temp + fsync + rename does).
+	BasePath string
+
+	foldSeq   uint64 // highest sealed sequence included in the fold
+	foldEdges uint64 // edge records across the folded segments
+}
+
+// FoldedEdges returns the number of edge records the compaction folds.
+func (c *Compaction) FoldedEdges() uint64 { return c.foldEdges }
+
+// BeginCompact opens a compaction window: the active segment is rotated so
+// everything journaled so far sits in sealed segments, and those segments
+// become the fold set. Appends keep landing in the fresh active segment
+// while the caller materializes the new base at Compaction.BasePath;
+// finish with CommitCompact or AbortCompact. Only one window may be open.
+func (s *Store) BeginCompact() (*Compaction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.compacting {
+		return nil, fmt.Errorf("wal: %s: compaction already in flight", s.dir)
+	}
+	if err := s.active.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.rotateLocked(); err != nil {
+		return nil, fmt.Errorf("wal: compact: seal active segment: %w", err)
+	}
+	c := &Compaction{Gen: s.man.Generation + 1}
+	c.BasePath = filepath.Join(s.dir, baseName(c.Gen))
+	for _, seg := range s.sealed {
+		c.foldSeq = seg.seq
+		c.foldEdges += seg.edges
+	}
+	s.compacting = true
+	return c, nil
+}
+
+// CommitCompact flips the manifest to the compaction's generation — one
+// atomic rename advances Generation, Horizon, and the FoldedSegment
+// watermark together — then removes the folded segment files. A crash
+// between flip and removal is recovered by OpenStore via the watermark. On
+// a flip error the active journal is poisoned: the flip may or may not
+// have hit the disk, so further appends could be silently dropped as
+// already-folded on the next open and must not be acknowledged; the
+// on-disk state remains recoverable — reopen the store to resume.
+func (s *Store) CommitCompact(c *Compaction) (Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.compacting {
+		return s.man, fmt.Errorf("wal: %s: CommitCompact without BeginCompact", s.dir)
+	}
+	s.compacting = false
+	man := Manifest{Generation: c.Gen, Base: baseName(c.Gen), Horizon: s.man.Horizon + c.foldEdges, FoldedSegment: c.foldSeq}
 	if err := writeManifest(s.fs, filepath.Join(s.dir, manifestName), man); err != nil {
-		// The flip may or may not have hit the disk; acknowledging further
-		// appends into a possibly-folded journal would risk double-apply or
-		// stale-drop. Poison and let recovery sort it out.
-		s.j.mu.Lock()
-		s.j.fail(fmt.Errorf("wal: compact: manifest flip failed: %w", err))
-		s.j.mu.Unlock()
+		s.active.mu.Lock()
+		s.active.fail(fmt.Errorf("wal: compact: manifest flip failed: %w", err))
+		s.active.mu.Unlock()
 		return s.man, err
 	}
 	s.man = man
-	if err := s.j.Reset(Record{Op: OpCheckpoint, Gen: gen, Horizon: man.Horizon}); err != nil {
-		return s.man, fmt.Errorf("wal: compact: journal reset: %w", err)
+	keep := s.sealed[:0]
+	for _, seg := range s.sealed {
+		if seg.seq <= c.foldSeq {
+			s.fs.Remove(seg.path)
+			continue
+		}
+		keep = append(keep, seg)
 	}
+	s.sealed = keep
 	// Retention: drop generation files that have scrolled out of the window
 	// (pruneLeftovers only ever touches base-NNNNNN.adj files inside dir).
 	s.pruneLeftovers()
 	return man, nil
 }
 
-// Close closes the journal.
+// AbortCompact closes the compaction window without flipping: the sealed
+// segments stay unfolded (the next compaction folds them) and the
+// partially-written base, if any, is removed.
+func (s *Store) AbortCompact(c *Compaction) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compacting = false
+	s.fs.Remove(c.BasePath)
+}
+
+// Compact folds the journal into a fresh base generation in one call: seal
+// (BeginCompact), write the new base through writeBase, flip
+// (CommitCompact). Appends proceed throughout — they land in the active
+// segment the seal opened and survive the flip as the unfolded suffix.
+// Readers holding the old base keep scanning it untouched; a crash at any
+// step leaves a state OpenStore recovers to either the old generation
+// (watermark not flipped, all segments replay) or the new one (flipped,
+// folded segments dropped), whole.
+func (s *Store) Compact(ctx context.Context, writeBase func(ctx context.Context, path string) error) (Manifest, error) {
+	if err := ctx.Err(); err != nil {
+		return s.Manifest(), err
+	}
+	c, err := s.BeginCompact()
+	if err != nil {
+		return s.Manifest(), err
+	}
+	if err := writeBase(ctx, c.BasePath); err != nil {
+		s.AbortCompact(c)
+		return s.Manifest(), fmt.Errorf("wal: compact: write generation %d base: %w", c.Gen, err)
+	}
+	return s.CommitCompact(c)
+}
+
+// StoreStats aggregates the live (unfolded) journal state across every
+// segment, sealed and active.
+type StoreStats struct {
+	Manifest      Manifest
+	Segments      int    // live segment files, active included
+	ActiveSegment uint64 // sequence number of the segment taking appends
+	Records       uint64 // records across live segments (checkpoints included)
+	Durable       uint64 // records covered by a completed fsync
+	Edges         uint64 // edge records awaiting compaction
+	Bytes         int64  // bytes across live segments
+	TornBytes     int64  // torn tail discarded during open, if any
+}
+
+// Stats returns the aggregated journal state. Sealed segments are durable
+// in full by construction (the rotation fsync covers them).
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Manifest:      s.man,
+		Segments:      len(s.sealed) + 1,
+		ActiveSegment: s.activeSeq,
+		TornBytes:     s.torn,
+	}
+	for _, seg := range s.sealed {
+		st.Records += seg.records
+		st.Durable += seg.records
+		st.Edges += seg.edges
+		st.Bytes += seg.bytes
+	}
+	st.Records += s.active.Appended()
+	st.Durable += s.active.Durable()
+	st.Edges += s.active.Edges()
+	st.Bytes += s.active.Size()
+	return st
+}
+
+// StatStore inspects the store in dir read-only: no checkpoint stamping,
+// no torn-tail truncation, no leftover cleanup — a stat must never write.
+// Live (unfolded) records are streamed through apply in replay order when
+// apply is non-nil; a torn tail on the final segment is only counted.
+// Damage earlier surfaces as a *CorruptError exactly as OpenStore would
+// report it.
+func StatStore(dir string, opts StoreOptions, apply func(Record) error) (StoreStats, error) {
+	opts = opts.withDefaults()
+	fs := opts.Journal.FS
+	man, err := ReadManifest(dir, fs)
+	if err != nil {
+		return StoreStats{}, err
+	}
+	segs, err := discoverSegments(fs, dir)
+	if err != nil {
+		return StoreStats{}, err
+	}
+	live := segs[:0]
+	for _, sf := range segs {
+		if sf.seq <= man.FoldedSegment {
+			continue // folded leftovers: already counted in Horizon
+		}
+		live = append(live, sf)
+	}
+	if len(live) > 0 && live[0].legacy {
+		if head, err := peekHead(fs, live[0].path); err != nil {
+			return StoreStats{}, err
+		} else if head != nil && head.Op == OpCheckpoint && head.Gen < man.Generation {
+			live = live[1:] // stale legacy journal: would be dropped on open
+		}
+	}
+	st := StoreStats{Manifest: man, Segments: len(live)}
+	emit := func(r Record) error {
+		if r.Op == OpCheckpoint || apply == nil {
+			return nil
+		}
+		return apply(r)
+	}
+	for i, sf := range live {
+		st.ActiveSegment = sf.seq
+		info, torn, err := replaySegment(fs, sf, emit)
+		if err != nil {
+			return StoreStats{}, err
+		}
+		if torn > 0 {
+			if i != len(live)-1 {
+				return StoreStats{}, &CorruptError{Path: sf.path, Offset: info.bytes, Reason: "torn tail in a sealed segment"}
+			}
+			// Torn tail on the final segment: what recovery would truncate.
+			st.TornBytes += torn
+		}
+		st.Records += info.records
+		st.Edges += info.edges
+		st.Bytes += info.bytes
+	}
+	if len(live) == 0 {
+		st.Segments = 1
+		st.ActiveSegment = man.FoldedSegment + 1
+	}
+	st.Durable = st.Records
+	return st, nil
+}
+
+// Close closes the active journal (sealed segments hold no descriptors).
 func (s *Store) Close() error {
-	if s.j == nil {
+	s.mu.Lock()
+	j := s.active
+	s.mu.Unlock()
+	if j == nil {
 		return nil
 	}
-	return s.j.Close()
+	return j.Close()
 }

@@ -126,26 +126,87 @@ func TestStoreCompactFoldsAndFlips(t *testing.T) {
 	}
 }
 
-func TestStaleJournalDropped(t *testing.T) {
-	// Simulate a crash between the manifest flip and the journal reset: the
-	// journal still holds generation-1 records, but the manifest says they
-	// are folded into generation 2. Recovery must drop them, not replay.
-	root := t.TempDir()
+// legacyStore lays out a pre-segmentation store by hand: a manifest with no
+// fold watermark and a single journal.wal holding a generation-1 head
+// checkpoint plus edges records.
+func legacyStore(t *testing.T, root string, edges uint32) string {
+	t.Helper()
 	base := newBaseFile(t, root, "g.adj", "gen1")
 	dir := filepath.Join(root, "store")
-	if err := InitStore(dir, base, StoreOptions{}); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	s, _ := openStore(t, dir, StoreOptions{})
-	for i := uint32(0); i < 4; i++ {
-		if err := s.Append(edge(OpInsert, i, i+1)); err != nil {
+	if err := writeManifest(OSFS(), filepath.Join(dir, manifestName),
+		Manifest{Generation: 1, Base: base, Horizon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(filepath.Join(dir, journalName), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Reset(Record{Op: OpCheckpoint, Gen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < edges; i++ {
+		if err := j.Append(edge(OpInsert, i, i+1)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestLegacySingleFileStoreOpens pins backward compatibility: a pre-PR 7
+// store (single journal.wal, manifest without folded_segment) opens, replays
+// its records, keeps appending into journal.wal, and a compaction migrates
+// it to the segmented layout.
+func TestLegacySingleFileStoreOpens(t *testing.T) {
+	dir := legacyStore(t, t.TempDir(), 4)
+	s, got := openStore(t, dir, StoreOptions{})
+	if len(got) != 4 {
+		t.Fatalf("legacy store replayed %d records, want 4", len(got))
+	}
+	if s.Stats().ActiveSegment != 1 {
+		t.Fatalf("legacy journal not read as segment 1: %+v", s.Stats())
+	}
+	// Appends still land in journal.wal (no premature renaming).
+	if err := s.Append(edge(OpInsert, 8, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalName)); err != nil {
+		t.Fatalf("legacy journal renamed out from under the store: %v", err)
+	}
+	// Compaction folds journal.wal and leaves a segmented layout behind.
+	man, err := s.Compact(context.Background(), writeBaseVia(OSFS(), "gen2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Generation != 2 || man.Horizon != 5 || man.FoldedSegment != 1 {
+		t.Fatalf("post-compact manifest %+v", man)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Flip the manifest by hand, leaving the journal untouched.
+	if _, err := os.Stat(filepath.Join(dir, journalName)); !os.IsNotExist(err) {
+		t.Fatalf("folded legacy journal still present (err=%v)", err)
+	}
+	s2, got := openStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	if len(got) != 0 || s2.Stats().ActiveSegment != 2 {
+		t.Fatalf("migrated store replayed %d records, stats %+v", len(got), s2.Stats())
+	}
+}
+
+func TestStaleJournalDropped(t *testing.T) {
+	// Pre-segmentation stores have no fold watermark, so a crash between
+	// their manifest flip and journal reset leaves journal.wal full of
+	// already-folded generation-1 records under a generation-2 manifest.
+	// Recovery must notice the head checkpoint's older generation and drop
+	// them, not replay.
+	root := t.TempDir()
+	dir := legacyStore(t, root, 4)
 	newBaseFile(t, dir, "base-000002.adj", "gen2")
 	if err := writeManifest(OSFS(), filepath.Join(dir, manifestName),
 		Manifest{Generation: 2, Base: "base-000002.adj", Horizon: 4}); err != nil {
@@ -331,5 +392,346 @@ func TestManifestCorruptionDetected(t *testing.T) {
 	}
 	if _, err := OpenStore(dir, StoreOptions{}, nil); err == nil {
 		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+// segOpts keeps the rotation threshold tiny so a handful of 17-byte edge
+// records spans several segments: head checkpoint (25B) + 5 edges (85B)
+// crosses 100 bytes on the fifth append.
+func segOpts(fs FS) StoreOptions {
+	return StoreOptions{Journal: Options{FS: fs}, SegmentSize: 100}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	root := t.TempDir()
+	base := newBaseFile(t, root, "g.adj", "gen1")
+	dir := filepath.Join(root, "store")
+	if err := InitStore(dir, base, segOpts(nil)); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := openStore(t, dir, segOpts(nil))
+	const total = 12
+	for i := uint32(0); i < total; i++ {
+		if err := s.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments != 3 || st.ActiveSegment != 3 || st.Edges != total {
+		t.Fatalf("stats after %d appends: %+v", total, st)
+	}
+	// Successor head checkpoints carry the cumulative horizon at rotation.
+	for _, want := range []struct {
+		seq     uint64
+		horizon uint64
+	}{{2, 5}, {3, 10}} {
+		head, err := peekHead(OSFS(), filepath.Join(dir, segmentName(want.seq)))
+		if err != nil || head == nil {
+			t.Fatalf("segment %d head: %v, %v", want.seq, head, err)
+		}
+		if head.Op != OpCheckpoint || head.Gen != 1 || head.Horizon != want.horizon {
+			t.Fatalf("segment %d head %+v, want checkpoint gen 1 horizon %d", want.seq, head, want.horizon)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen replays every record across all segments, in append order.
+	s2, got := openStore(t, dir, segOpts(nil))
+	if len(got) != total {
+		t.Fatalf("replayed %d records, want %d", len(got), total)
+	}
+	for i, r := range got {
+		if r != edge(OpInsert, uint32(i), uint32(i)+1) {
+			t.Fatalf("record %d replayed as %+v", i, r)
+		}
+	}
+	// Compaction seals the active segment too and folds all of them.
+	man, err := s2.Compact(context.Background(), writeBaseVia(OSFS(), "gen2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Generation != 2 || man.Horizon != total || man.FoldedSegment != 3 {
+		t.Fatalf("post-compact manifest %+v", man)
+	}
+	if st := s2.Stats(); st.Segments != 1 || st.ActiveSegment != 4 || st.Edges != 0 {
+		t.Fatalf("post-compact stats %+v", st)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := os.Stat(filepath.Join(dir, segmentName(seq))); !os.IsNotExist(err) {
+			t.Fatalf("folded segment %d not removed (err=%v)", seq, err)
+		}
+	}
+}
+
+// TestAppendsDuringCompactionWindow pins the online-compaction contract at
+// the store level: records appended between BeginCompact and CommitCompact
+// land in the fresh active segment, are excluded from the fold, and survive
+// the flip as the replayable suffix.
+func TestAppendsDuringCompactionWindow(t *testing.T) {
+	root := t.TempDir()
+	base := newBaseFile(t, root, "g.adj", "gen1")
+	dir := filepath.Join(root, "store")
+	if err := InitStore(dir, base, StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := openStore(t, dir, StoreOptions{})
+	for i := uint32(0); i < 5; i++ {
+		if err := s.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := s.BeginCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gen != 2 || c.FoldedEdges() != 5 {
+		t.Fatalf("compaction window %+v folds %d edges", c, c.FoldedEdges())
+	}
+	if _, err := s.BeginCompact(); err == nil {
+		t.Fatal("second concurrent compaction window accepted")
+	}
+	suffix := []Record{edge(OpInsert, 50, 51), edge(OpDelete, 0, 1)}
+	for _, r := range suffix {
+		if err := s.Append(r); err != nil {
+			t.Fatalf("append during compaction window: %v", err)
+		}
+	}
+	if err := writeFileAtomic(OSFS(), c.BasePath, []byte("gen2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := s.CommitCompact(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Generation != 2 || man.Horizon != 5 || man.FoldedSegment != 1 {
+		t.Fatalf("post-commit manifest %+v", man)
+	}
+	if st := s.Stats(); st.Edges != 2 {
+		t.Fatalf("suffix edges %d, want 2 (stats %+v)", st.Edges, st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, got := openStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	if len(got) != len(suffix) {
+		t.Fatalf("replayed %d suffix records, want %d", len(got), len(suffix))
+	}
+	for i, r := range got {
+		if r != suffix[i] {
+			t.Fatalf("suffix record %d replayed as %+v, want %+v", i, r, suffix[i])
+		}
+	}
+}
+
+// TestAbortCompactKeepsSegmentsUnfolded: an aborted window leaves the
+// sealed segments for the next compaction and removes the partial base.
+func TestAbortCompactKeepsSegmentsUnfolded(t *testing.T) {
+	root := t.TempDir()
+	base := newBaseFile(t, root, "g.adj", "gen1")
+	dir := filepath.Join(root, "store")
+	if err := InitStore(dir, base, StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := openStore(t, dir, StoreOptions{})
+	defer s.Close()
+	for i := uint32(0); i < 3; i++ {
+		if err := s.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := s.BeginCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(OSFS(), c.BasePath, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.AbortCompact(c)
+	if _, err := os.Stat(c.BasePath); !os.IsNotExist(err) {
+		t.Fatalf("aborted base still present (err=%v)", err)
+	}
+	if s.Manifest().Generation != 1 {
+		t.Fatalf("generation moved on abort: %+v", s.Manifest())
+	}
+	// The next window folds the same sealed prefix plus anything since.
+	if err := s.Append(edge(OpInsert, 9, 10)); err != nil {
+		t.Fatal(err)
+	}
+	man, err := s.Compact(context.Background(), writeBaseVia(OSFS(), "gen2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Horizon != 4 || man.Generation != 2 {
+		t.Fatalf("post-retry manifest %+v", man)
+	}
+}
+
+// TestRotationCrashMatrix crashes at every mutating filesystem operation of
+// an append workload that spans several segment rotations, and asserts
+// recovery keeps every acknowledged record, in order — a failed or torn
+// rotation may cost nothing more than an oversized active segment.
+func TestRotationCrashMatrix(t *testing.T) {
+	const total = 12
+	setup := func(t *testing.T) string {
+		root := t.TempDir()
+		base := newBaseFile(t, root, "g.adj", "gen1")
+		dir := filepath.Join(root, "store")
+		if err := InitStore(dir, base, segOpts(nil)); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	// Dry run to learn the op count of the full append workload.
+	dry := setup(t)
+	ffs := NewFaultFS(nil)
+	s, _ := openStore(t, dry, segOpts(ffs))
+	before := ffs.Ops()
+	for i := uint32(0); i < total; i++ {
+		if err := s.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendOps := ffs.Ops() - before
+	s.Close()
+	if appendOps <= total {
+		t.Fatalf("workload used only %d mutating ops — rotations not covered", appendOps)
+	}
+
+	for n := 1; n <= appendOps; n++ {
+		t.Run(fmt.Sprintf("crash-at-op-%d", n), func(t *testing.T) {
+			dir := setup(t)
+			ffs := NewFaultFS(nil)
+			s, _ := openStore(t, dir, segOpts(ffs))
+			ffs.Arm(n, Crash)
+			acked := 0
+			for i := uint32(0); i < total; i++ {
+				if err := s.Append(edge(OpInsert, i, i+1)); err != nil {
+					break
+				}
+				acked++
+			}
+			if !ffs.Fired() {
+				t.Fatalf("fault at op %d never fired", n)
+			}
+			s.Close() // simulated process death; ignore errors
+
+			// "Reboot": reopen with a clean filesystem. Acknowledged records
+			// must all be there; a record written but not yet acknowledged
+			// may legitimately survive too, so the recovered stream is a
+			// prefix of the sent sequence at least acked long.
+			s2, got := openStore(t, dir, segOpts(nil))
+			defer s2.Close()
+			if len(got) < acked {
+				t.Fatalf("recovered %d records < %d acknowledged", len(got), acked)
+			}
+			for i, r := range got {
+				if r != edge(OpInsert, uint32(i), uint32(i)+1) {
+					t.Fatalf("record %d recovered as %+v", i, r)
+				}
+			}
+			if err := s2.Append(edge(OpInsert, 70, 71)); err != nil {
+				t.Fatalf("post-recovery append: %v", err)
+			}
+		})
+	}
+}
+
+// dirSnapshot captures every file's bytes for before/after comparison.
+func dirSnapshot(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make(map[string]string, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[e.Name()] = string(data)
+	}
+	return snap
+}
+
+// TestStatStoreReadOnly pins the stat contract: correct numbers, not one
+// byte written — even on stores where OpenStore would repair (stale legacy
+// journal to truncate, torn tail to cut, empty journal to stamp).
+func TestStatStoreReadOnly(t *testing.T) {
+	// A stale legacy journal: OpenStore truncates it, stat must only skip it.
+	root := t.TempDir()
+	dir := legacyStore(t, root, 4)
+	newBaseFile(t, dir, "base-000002.adj", "gen2")
+	if err := writeManifest(OSFS(), filepath.Join(dir, manifestName),
+		Manifest{Generation: 2, Base: "base-000002.adj", Horizon: 4}); err != nil {
+		t.Fatal(err)
+	}
+	before := dirSnapshot(t, dir)
+	var got []Record
+	st, err := StatStore(dir, StoreOptions{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || st.Edges != 0 {
+		t.Fatalf("stat replayed %d stale records (stats %+v)", len(got), st)
+	}
+	if st.Manifest.Generation != 2 || st.Manifest.Horizon != 4 {
+		t.Fatalf("stat manifest %+v", st.Manifest)
+	}
+	after := dirSnapshot(t, dir)
+	if len(before) != len(after) {
+		t.Fatalf("stat changed the file set: %d -> %d files", len(before), len(after))
+	}
+	for name, data := range before {
+		if after[name] != data {
+			t.Fatalf("stat modified %s", name)
+		}
+	}
+
+	// A live store with a torn active tail: stat counts the tear without
+	// cutting it, and still replays the clean prefix.
+	root2 := t.TempDir()
+	base := newBaseFile(t, root2, "g.adj", "gen1")
+	dir2 := filepath.Join(root2, "store")
+	if err := InitStore(dir2, base, StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := openStore(t, dir2, StoreOptions{})
+	for i := uint32(0); i < 3; i++ {
+		if err := s.Append(edge(OpInsert, i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir2, segmentName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before2 := dirSnapshot(t, dir2)
+	got = nil
+	st2, err := StatStore(dir2, StoreOptions{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || st2.Edges != 3 || st2.TornBytes != 3 {
+		t.Fatalf("torn-tail stat: %d records, stats %+v", len(got), st2)
+	}
+	after2 := dirSnapshot(t, dir2)
+	if after2[segmentName(1)] != before2[segmentName(1)] {
+		t.Fatal("stat truncated the torn tail")
 	}
 }

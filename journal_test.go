@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	mis "repro"
@@ -240,7 +241,7 @@ func TestCrashPointRecovery(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	jpath := filepath.Join(dir, "journal.wal")
+	jpath := filepath.Join(dir, "journal-000001.wal")
 	whole, err := os.ReadFile(jpath)
 	if err != nil {
 		t.Fatal(err)
@@ -272,7 +273,7 @@ func TestCrashPointRecovery(t *testing.T) {
 			if err := os.WriteFile(filepath.Join(cdir, "MANIFEST"), manifest, 0o644); err != nil {
 				t.Fatal(err)
 			}
-			if err := os.WriteFile(filepath.Join(cdir, "journal.wal"), whole[:off], 0o644); err != nil {
+			if err := os.WriteFile(filepath.Join(cdir, "journal-000001.wal"), whole[:off], 0o644); err != nil {
 				t.Fatal(err)
 			}
 			jr, err := mis.OpenJournal(ctx, cdir)
@@ -341,7 +342,7 @@ func TestBitFlipRecovery(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	jpath := filepath.Join(dir, "journal.wal")
+	jpath := filepath.Join(dir, "journal-000001.wal")
 	whole, err := os.ReadFile(jpath)
 	if err != nil {
 		t.Fatal(err)
@@ -366,7 +367,7 @@ func TestBitFlipRecovery(t *testing.T) {
 			}
 			damaged := append([]byte(nil), whole...)
 			damaged[pos] ^= 1 << uint(rng.Intn(8))
-			if err := os.WriteFile(filepath.Join(cdir, "journal.wal"), damaged, 0o644); err != nil {
+			if err := os.WriteFile(filepath.Join(cdir, "journal-000001.wal"), damaged, 0o644); err != nil {
 				t.Fatal(err)
 			}
 			jr, err := mis.OpenJournal(ctx, cdir)
@@ -448,10 +449,11 @@ func TestJournalStaleJournalAfterCompactCrash(t *testing.T) {
 		}
 		ops = append(ops, journalOp{insert: true, u: i, v: i + 11})
 	}
-	// Snapshot journal pre-compaction, compact, then put the old journal
-	// back: that is the on-disk state of a crash after the manifest flip
-	// but before the journal reset.
-	jpath := filepath.Join(dir, "journal.wal")
+	// Snapshot the first segment pre-compaction, compact, then put it back:
+	// that is the on-disk state of a crash after the manifest flip (which
+	// advanced the FoldedSegment watermark past it) but before the folded
+	// segment file was removed.
+	jpath := filepath.Join(dir, "journal-000001.wal")
 	preJournal, err := os.ReadFile(jpath)
 	if err != nil {
 		t.Fatal(err)
@@ -496,6 +498,374 @@ func TestOpenJournalCancel(t *testing.T) {
 	cancel()
 	if _, err := mis.OpenJournal(ctx, dir); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled open: %v", err)
+	}
+}
+
+// TestJournalConcurrentScanAndCompact is the online-compaction acceptance
+// test: while Compact folds the sealed prefix, InsertEdge keeps
+// acknowledging updates and a solver scan started on the pre-compaction
+// File() handle finishes cleanly on the old generation. Run under -race.
+func TestJournalConcurrentScanAndCompact(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	base, baseEdges := buildRandomBase(t, root, 1000, 3000, 41)
+	dir := filepath.Join(root, "store")
+	if err := mis.InitJournal(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	j, err := mis.OpenJournal(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// Seed the journal with updates confined to vertices < 500, so the
+	// concurrent writer's edges (vertices ≥ 500) commute with them and the
+	// oracle needs no interleaving order.
+	rng := rand.New(rand.NewSource(43))
+	var ops []journalOp
+	for len(ops) < 100 {
+		u, v := uint32(rng.Intn(500)), uint32(rng.Intn(500))
+		if u == v {
+			continue
+		}
+		op := journalOp{insert: rng.Intn(2) == 0, u: u, v: v}
+		if op.insert {
+			err = j.InsertEdge(u, v)
+		} else {
+			err = j.DeleteEdge(u, v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op)
+	}
+
+	old := j.File() // generation-1 handle, scanned while Compact flips
+
+	var wg sync.WaitGroup
+	scanErr := make(chan error, 1)
+	writeErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		solver := mis.NewSolver(old)
+		r, err := solver.Solve(ctx, mis.AlgGreedy)
+		if err == nil {
+			err = solver.Verify(ctx, r)
+		}
+		scanErr <- err
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for u := uint32(500); u < 600; u++ {
+			if err := j.InsertEdge(u, u+100); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+
+	if err := j.Compact(ctx); err != nil {
+		t.Fatalf("compact concurrent with scan+writes: %v", err)
+	}
+	wg.Wait()
+	if err := <-scanErr; err != nil {
+		t.Fatalf("old-generation scan during compact: %v", err)
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatalf("insert during compact: %v", err)
+	}
+
+	if st := j.Stats(); st.Generation != 2 || st.Err != nil {
+		t.Fatalf("post-compact stats %+v", st)
+	}
+	if err := j.Verify(ctx); err != nil {
+		t.Fatalf("verify after concurrent compact: %v", err)
+	}
+	// The effective graph is exactly seed ops + writer edges, each once —
+	// updates journaled during the fold survived the flip as the suffix.
+	for u := uint32(500); u < 600; u++ {
+		ops = append(ops, journalOp{insert: true, u: u, v: u + 100})
+	}
+	want := oracleEdges(baseEdges, ops, len(ops))
+	if got := materializedEdges(t, j); !sameEdges(got, want) {
+		t.Fatalf("effective graph diverged: %d vs %d edges", len(got), len(want))
+	}
+
+	// A handle pinned with AcquireFile survives any number of compactions.
+	pinned, release := j.AcquireFile()
+	defer release()
+	for i := 0; i < 2; i++ {
+		if err := j.InsertEdge(700+uint32(i), 900); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Compact(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mis.NewSolver(pinned).Solve(ctx, mis.AlgGreedy); err != nil {
+		t.Fatalf("pinned generation scan after two compactions: %v", err)
+	}
+}
+
+// TestJournalRotationCrashCuts covers recovery at segment-rotation
+// boundaries: with a tiny rotation threshold the journal spans sealed
+// segments plus an active one; a crash can only tear the active segment, and
+// recovery must replay the sealed segments whole plus the active clean
+// prefix.
+func TestJournalRotationCrashCuts(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	base, baseEdges := buildRandomBase(t, root, 60, 120, 47)
+	dir := filepath.Join(root, "store")
+	// SegmentSize 100: head checkpoint (25B) + five 17B edge records crosses
+	// the threshold, so 12 appends land as segments of 5 + 5 + 2.
+	opts := []mis.JournalOption{mis.SegmentSize(100)}
+	if err := mis.InitJournal(dir, base, opts...); err != nil {
+		t.Fatal(err)
+	}
+	j, err := mis.OpenJournal(ctx, dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 12
+	var ops []journalOp
+	for i := uint32(0); i < K; i++ {
+		if err := j.InsertEdge(i, i+13); err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, journalOp{insert: true, u: i, v: i + 13})
+	}
+	if st := j.Stats(); st.Segments != 3 || st.ActiveSegment != 3 {
+		t.Fatalf("12 appends at SegmentSize 100 left %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sealed [][]byte
+	for seq := 1; seq <= 2; seq++ {
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("journal-%06d.wal", seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealed = append(sealed, data)
+	}
+	active, err := os.ReadFile(filepath.Join(dir, "journal-000003.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headLen := len(wal.AppendRecord(nil, wal.Record{Op: wal.OpCheckpoint, Gen: 1}))
+	recLen := len(wal.AppendRecord(nil, wal.Record{Op: wal.OpInsert, U: 1, V: 2}))
+	if len(active) != headLen+2*recLen {
+		t.Fatalf("active segment is %d bytes, want %d", len(active), headLen+2*recLen)
+	}
+	const sealedEdges = 10
+
+	for off := 0; off <= len(active); off++ {
+		t.Run(fmt.Sprintf("cut-%d", off), func(t *testing.T) {
+			cdir := filepath.Join(t.TempDir(), "crashed")
+			if err := os.MkdirAll(cdir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(cdir, "MANIFEST"), manifest, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for i, data := range sealed {
+				name := fmt.Sprintf("journal-%06d.wal", i+1)
+				if err := os.WriteFile(filepath.Join(cdir, name), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.WriteFile(filepath.Join(cdir, "journal-000003.wal"), active[:off], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			jr, err := mis.OpenJournal(ctx, cdir, opts...)
+			if err != nil {
+				t.Fatalf("recovery at cut %d: %v", off, err)
+			}
+			defer jr.Close()
+			wantRecs := sealedEdges
+			if off >= headLen {
+				wantRecs += (off - headLen) / recLen
+			}
+			st := jr.Stats()
+			if int(st.JournalEdges) != wantRecs {
+				t.Fatalf("cut %d recovered %d edges, want %d", off, st.JournalEdges, wantRecs)
+			}
+			want := oracleEdges(baseEdges, ops, wantRecs)
+			if got := materializedEdges(t, jr); !sameEdges(got, want) {
+				t.Fatalf("cut %d: recovered graph diverged from %d-op oracle prefix", off, wantRecs)
+			}
+			if err := jr.Verify(ctx); err != nil {
+				t.Fatalf("cut %d: verify: %v", off, err)
+			}
+			if err := jr.InsertEdge(40, 41); err != nil {
+				t.Fatalf("cut %d: append after recovery: %v", off, err)
+			}
+		})
+	}
+}
+
+// TestJournalCompactReopenFail: a failure opening the freshly materialized
+// generation happens before the manifest flip, so it aborts cleanly — no
+// split-brain, no poisoning, the journal keeps taking updates on the old
+// generation and a later Compact succeeds.
+func TestJournalCompactReopenFail(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	base, _ := buildRandomBase(t, root, 40, 80, 53)
+	dir := filepath.Join(root, "store")
+	if err := mis.InitJournal(dir, base); err != nil {
+		t.Fatal(err)
+	}
+	j, err := mis.OpenJournal(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := uint32(0); i < 6; i++ {
+		if err := j.InsertEdge(i, i+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("injected reopen failure")
+	restore := mis.SetOpenBaseForTest(func(string, int) (*mis.File, error) { return nil, boom })
+	err = j.Compact(ctx)
+	restore()
+	if !errors.Is(err, boom) {
+		t.Fatalf("compact error %v, want injected reopen failure", err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("pre-flip reopen failure poisoned the journal: %v", err)
+	}
+	st := j.Stats()
+	if st.Generation != 1 || st.JournalEdges != 6 {
+		t.Fatalf("failed compact moved state: %+v", st)
+	}
+	if err := j.InsertEdge(20, 21); err != nil {
+		t.Fatalf("append after failed compact: %v", err)
+	}
+	if err := j.Compact(ctx); err != nil {
+		t.Fatalf("retry compact: %v", err)
+	}
+	if st := j.Stats(); st.Generation != 2 || st.JournalEdges != 0 {
+		t.Fatalf("retry left %+v", st)
+	}
+	if err := j.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCompactFaultMatrix injects a transient I/O failure at every
+// wal-layer mutating operation of a Compact and pins the split-brain fix:
+// each attempt either succeeds, fails cleanly before the flip (journal still
+// live on generation 1), or poisons the journal (ambiguous flip — sticky
+// Err, updates rejected); a poisoned store always reopens whole with the
+// full acknowledged history.
+func TestJournalCompactFaultMatrix(t *testing.T) {
+	ctx := context.Background()
+	const edges = 6
+	setup := func(t *testing.T, ffs *wal.FaultFS) (string, map[uint64]bool, []journalOp, *mis.Journal) {
+		t.Helper()
+		root := t.TempDir()
+		base, baseEdges := buildRandomBase(t, root, 40, 80, 59)
+		dir := filepath.Join(root, "store")
+		if err := mis.InitJournal(dir, base); err != nil {
+			t.Fatal(err)
+		}
+		var jopts []mis.JournalOption
+		if ffs != nil {
+			jopts = append(jopts, mis.JournalFSForTest(ffs))
+		}
+		j, err := mis.OpenJournal(ctx, dir, jopts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops []journalOp
+		for i := uint32(0); i < edges; i++ {
+			if err := j.InsertEdge(i, i+9); err != nil {
+				t.Fatal(err)
+			}
+			ops = append(ops, journalOp{insert: true, u: i, v: i + 9})
+		}
+		return dir, baseEdges, ops, j
+	}
+
+	// Dry run to learn the wal-layer op count of one Compact.
+	ffs := wal.NewFaultFS(nil)
+	_, _, _, dry := setup(t, ffs)
+	before := ffs.Ops()
+	if err := dry.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	compactOps := ffs.Ops() - before
+	dry.Close()
+	if compactOps < 6 {
+		t.Fatalf("compact used only %d wal ops — seam not covering it", compactOps)
+	}
+
+	poisoned := 0
+	for n := 1; n <= compactOps; n++ {
+		t.Run(fmt.Sprintf("fail-at-op-%d", n), func(t *testing.T) {
+			ffs := wal.NewFaultFS(nil)
+			dir, baseEdges, ops, j := setup(t, ffs)
+			ffs.Arm(n, wal.FailOp)
+			cerr := j.Compact(ctx)
+			if !ffs.Fired() {
+				t.Fatalf("fault at op %d never fired", n)
+			}
+			switch {
+			case cerr == nil:
+				// Failure landed in ignorable cleanup (segment removal);
+				// the flip committed and the journal is live on gen 2.
+				if err := j.InsertEdge(30, 31); err != nil {
+					t.Fatalf("append after tolerated fault: %v", err)
+				}
+				ops = append(ops, journalOp{insert: true, u: 30, v: 31})
+			case j.Err() == nil:
+				// Clean pre-flip failure: still generation 1, still live.
+				if st := j.Stats(); st.Generation != 1 {
+					t.Fatalf("unpoisoned failure on generation %d", st.Generation)
+				}
+				if err := j.InsertEdge(30, 31); err != nil {
+					t.Fatalf("append after clean compact failure: %v", err)
+				}
+				ops = append(ops, journalOp{insert: true, u: 30, v: 31})
+			default:
+				// Ambiguous flip: poisoned. No update may be acknowledged.
+				poisoned++
+				if err := j.InsertEdge(30, 31); err == nil {
+					t.Fatal("poisoned journal acknowledged an update")
+				}
+			}
+			j.Close()
+
+			// Reopen with a clean filesystem: whichever generation survived,
+			// the full acknowledged history must be there.
+			jr, err := mis.OpenJournal(ctx, dir)
+			if err != nil {
+				t.Fatalf("reopen after fault at op %d: %v", n, err)
+			}
+			defer jr.Close()
+			want := oracleEdges(baseEdges, ops, len(ops))
+			if got := materializedEdges(t, jr); !sameEdges(got, want) {
+				t.Fatalf("reopened graph diverged after fault at op %d", n)
+			}
+			if err := jr.Verify(ctx); err != nil {
+				t.Fatalf("verify after fault at op %d: %v", n, err)
+			}
+		})
+	}
+	if poisoned == 0 {
+		t.Fatal("no op index produced an ambiguous-flip poisoning — matrix not covering the flip")
 	}
 }
 
