@@ -13,9 +13,13 @@
 // fig5 fig8 fig9 fig10 ablation-io ablation-earlystop ablation-sort
 // ablation-pq scanbench parscanbench.
 //
-// scanbench compares the block-pipelined scan engine against the bytewise
-// reference decoder and writes a machine-readable BENCH_scan.json
-// (-scan-out picks the path) so scan throughput is tracked across PRs.
+// scanbench compares the scan engines — block-pipelined, memory-mapped
+// (with and without zero-copy aliasing) and the bytewise reference decoder —
+// and writes a machine-readable BENCH_scan.json (-scan-out picks the path)
+// so scan throughput is tracked across PRs. By default trials run against a
+// warm page cache; -cold evicts the file's pages and re-opens the file
+// before every trial to measure the first-read profile instead (Linux only;
+// elsewhere the run degrades to warm and the report says so).
 //
 // parscanbench sweeps the parallel partitioned executor over worker counts
 // {1, 2, 4, 7} on the same workload and writes BENCH_parscan.json
@@ -52,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scanOut    = fs.String("scan-out", "", "path for the scanbench experiment's BENCH_scan.json (default: workdir)")
 		parScanOut = fs.String("parscan-out", "", "path for the parscanbench experiment's BENCH_parscan.json (default: workdir)")
 		force      = fs.Bool("force", false, "let parscanbench overwrite an existing BENCH_parscan.json even on a <4-CPU host")
+		cold       = fs.Bool("cold", false, "scanbench: evict the page cache and re-open the file before every trial")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ScanBenchOut:    *scanOut,
 		ParScanBenchOut: *parScanOut,
 		Force:           *force,
+		ScanBenchCold:   *cold,
 	}
 
 	experiments := bench.Experiments()

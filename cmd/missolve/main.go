@@ -55,6 +55,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 1, "goroutines decoding file partitions concurrently during scans (0 = GOMAXPROCS); results are identical for any value")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit); partial stats are reported")
 		progress  = fs.Bool("progress", false, "print each swap round as it completes")
+		mmap      = fs.Bool("mmap", false, "scan through a memory mapping of the file instead of the prefetching block pipeline (results identical; falls back silently where mmap is unavailable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,12 +71,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
-	f, err := mis.Open(fs.Arg(0), mis.WithWorkers(*workers))
+	oopts := []mis.OpenOption{mis.WithWorkers(*workers)}
+	if *mmap {
+		oopts = append(oopts, mis.WithMmap())
+	}
+	f, err := mis.Open(fs.Arg(0), oopts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "missolve: %v\n", err)
 		return 1
 	}
 	defer f.Close()
+	if *mmap && !f.MmapActive() {
+		fmt.Fprintln(stderr, "missolve: mmap unavailable here; using the default scan engine")
+	}
 
 	// fail reports an error; an interrupted run (canceled, deadline) also
 	// prints the partial I/O statistics the run accumulated before stopping.

@@ -30,6 +30,7 @@ type OpenOption func(*openConfig)
 type openConfig struct {
 	blockSize int
 	workers   int
+	mmap      bool
 }
 
 // WithBlockSize sets the buffered I/O block size (the B of the paper's I/O
@@ -50,6 +51,20 @@ func WithWorkers(n int) OpenOption {
 	return func(c *openConfig) { c.workers = n }
 }
 
+// WithMmap backs every scan of the file with a read-only memory mapping
+// instead of the prefetching block pipeline: the decoder consumes file bytes
+// straight out of the OS page cache, and on little-endian hosts raw
+// (uncompressed) files decode with zero copies — neighbor lists alias the
+// mapping itself. Records, errors, statistics and cancellation behave
+// identically to the default engine; mapped scans still count as physical
+// scans, since the paper's I/O cost model charges each pass for reading the
+// file regardless of which kernel interface delivers the bytes. On platforms
+// without mmap (or under the nommap build tag) the option silently falls
+// back to the default engine — MmapActive reports which path is live.
+func WithMmap() OpenOption {
+	return func(c *openConfig) { c.mmap = true }
+}
+
 // Open opens an adjacency file produced by Builder.WriteFile,
 // GeneratePowerLawFile, ImportEdgeList or SortFileByDegree.
 func Open(path string, opts ...OpenOption) (*File, error) {
@@ -59,13 +74,22 @@ func Open(path string, opts ...OpenOption) (*File, error) {
 	}
 	f := &File{}
 	f.workers.Store(int32(cfg.workers))
-	inner, err := gio.Open(path, cfg.blockSize, &f.stats)
+	open := gio.Open
+	if cfg.mmap {
+		open = gio.OpenMmap
+	}
+	inner, err := open(path, cfg.blockSize, &f.stats)
 	if err != nil {
 		return nil, err
 	}
 	f.inner = inner
 	return f, nil
 }
+
+// MmapActive reports whether scans of this file run off a live memory
+// mapping (see WithMmap): false when the file was opened without the option,
+// after the mmap fallback, or once the file is closed.
+func (f *File) MmapActive() bool { return f.inner.MmapActive() }
 
 // SetWorkers changes the file's default scan parallelism (see WithWorkers).
 func (f *File) SetWorkers(n int) { f.workers.Store(int32(n)) }

@@ -42,6 +42,12 @@ type Config struct {
 	// ParScanBenchOut is where the parscanbench experiment writes its
 	// machine-readable BENCH_parscan.json; empty selects the work directory.
 	ParScanBenchOut string
+	// ScanBenchCold makes scanbench evict the benchmark file's pages from
+	// the OS page cache and re-open the file before every trial, measuring
+	// the cold first-read profile instead of steady-state warm-cache
+	// throughput. On platforms without page-cache control the run degrades
+	// to warm trials and the report records that.
+	ScanBenchCold bool
 	// Force lets parscanbench overwrite an existing BENCH_parscan.json even
 	// on a host with fewer than 4 CPUs, where the sweep can only measure
 	// scheduling overhead and would clobber a meaningful multi-core artifact

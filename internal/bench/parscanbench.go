@@ -54,6 +54,11 @@ type ParScanBenchReport struct {
 	// Speedup is executor-over-single-stream throughput per format at
 	// 4 workers, the headline number (meaningful on ≥4-core hosts).
 	Speedup map[string]float64 `json:"speedup_at_4_workers"`
+	// Note flags measurements that cannot show what the artifact exists to
+	// track — set when NumCPU < 4, where the worker sweep can only measure
+	// scheduling overhead, not multi-core decode speedup. Always read
+	// num_cpu before comparing speedups across hosts.
+	Note string `json:"note,omitempty"`
 }
 
 // ParScanBench runs the worker sweep and writes BENCH_parscan.json (to
@@ -137,8 +142,16 @@ func ParScanBench(cfg *Config) error {
 	for _, fl := range files {
 		report.Speedup[fl.format] = best[fl.format+"/4"] / best[fl.format+"/1"]
 	}
+	if report.NumCPU < 4 {
+		report.Note = fmt.Sprintf("measured on a %d-CPU host: the sweep can only show "+
+			"scheduling overhead here, not multi-core decode speedup; expect ≈1x or below "+
+			"at every worker count", report.NumCPU)
+	}
 	cfg.printf("speedup at 4 workers (vs single-stream): raw %.2fx, compressed %.2fx (host has %d CPUs)\n",
 		report.Speedup["raw"], report.Speedup["compressed"], report.NumCPU)
+	if report.Note != "" {
+		cfg.printf("NOTE: %s\n", report.Note)
+	}
 
 	out := cfg.ParScanBenchOut
 	if out == "" {
@@ -170,7 +183,10 @@ func parScanOverwriteGuard(out string, numCPU int, force bool) error {
 	}
 	if _, err := os.Stat(out); err == nil {
 		return fmt.Errorf("bench: refusing to overwrite %s from a %d-CPU host (<4): "+
-			"the sweep only measures scheduling overhead here; pass -force to override", out, numCPU)
+			"the sweep only measures scheduling overhead here (a 1-CPU container is the "+
+			"common case — GOMAXPROCS gives the workers nothing to run on), so the "+
+			"artifact would record noise as if it were speedup; pass -force to overwrite "+
+			"anyway, and read the num_cpu and note fields before comparing results", out, numCPU)
 	}
 	return nil
 }

@@ -159,6 +159,15 @@ type batchBufs struct {
 }
 
 func (e *Executor) runParallel(ctx context.Context, parts []gio.Partition, fn func([]gio.Record) error) error {
+	// On a mapped file, zero-copy batches alias the mapping while they sit in
+	// the partition channels — after the worker's scanner has closed and
+	// released its own mapping reference. Pin the mapping once for the whole
+	// run so a concurrent File.Close defers the munmap past the last of those
+	// in-flight batches. If the pin fails (file already closing), the workers'
+	// scans fail fast below and the error propagates normally.
+	if release, ok := e.f.PinMap(); ok {
+		defer release()
+	}
 	nw := e.workers
 	if nw > len(parts) {
 		nw = len(parts)

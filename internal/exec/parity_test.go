@@ -77,13 +77,30 @@ func (o scanOutcome) errString() string {
 	return o.err.Error()
 }
 
+// execEngine selects how runScan opens files: "" is the block-pipelined
+// engine, "mmap" and "mmap-zerocopy" the mapped one (TestParallelParityMmap
+// flips it to re-run the core parity tests against those engines, workers
+// and malformed inputs included).
+var execEngine string
+
+func openTestFile(path string, blockSize int, c *gio.Counters) (*gio.File, error) {
+	if execEngine == "" {
+		return gio.Open(path, blockSize, c)
+	}
+	f, err := gio.OpenMmap(path, blockSize, c)
+	if err == nil {
+		f.SetMmapZeroCopy(execEngine == "mmap-zerocopy")
+	}
+	return f, err
+}
+
 // runScan scans path with the given worker count (1 = the sequential
 // engine), collecting records, final error and stats.
 func runScan(t testing.TB, path string, workers, blockSize int) (out scanOutcome) {
 	t.Helper()
 	var counters gio.Counters
 	defer func() { out.stats = counters.Snapshot() }()
-	f, err := gio.Open(path, blockSize, &counters)
+	f, err := openTestFile(path, blockSize, &counters)
 	if err != nil {
 		out.err = err
 		return out
@@ -354,7 +371,7 @@ func TestColdStartCapturePar(t *testing.T) {
 		ref := runScan(t, path, 1, 4096)
 		for _, w := range parityWorkers {
 			var stats gio.Counters
-			f, err := gio.Open(path, 4096, &stats)
+			f, err := openTestFile(path, 4096, &stats)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,25 @@
+//go:build !(linux || darwin) || nommap
+
+package gio
+
+import (
+	"errors"
+	"os"
+)
+
+// The portable fallback: platforms without syscall.Mmap (and builds under
+// the nommap tag) cannot map the file, so OpenMmap degrades to the ordinary
+// block-pipelined engine — positional ReadAt through the double-buffered
+// prefetcher — with identical records, errors and Stats. MmapActive reports
+// false, and zero-copy aliasing is unavailable (batches are arena-backed,
+// so the arena lifetime contract applies unchanged).
+
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("gio: mmap not supported on this platform")
+
+func mapMem(f *os.File, size int64) ([]byte, error) { return nil, errMmapUnsupported }
+
+func unmapMem(data []byte) error { return nil }
+
+func adviseSequential(data []byte) {}

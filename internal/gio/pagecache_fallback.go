@@ -1,0 +1,8 @@
+//go:build !linux || nommap
+
+package gio
+
+// DropPageCache is unavailable without posix_fadvise; callers (the cold
+// scan benchmark) record the failure and report their numbers as
+// page-cache-warm.
+func DropPageCache(path string) error { return ErrPageCacheCtl }

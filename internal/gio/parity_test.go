@@ -31,12 +31,24 @@ func (o scanOutcome) errString() string {
 	return o.err.Error()
 }
 
-// runScan scans path with the given engine ("pipelined", "batch" or
-// "bytewise") and block size, collecting records, final error and stats.
+// runScan scans path with the given engine ("pipelined", "batch",
+// "bytewise", "mmap" or "mmap-zerocopy") and block size, collecting
+// records, final error and stats. The mmap engines open through OpenMmap;
+// on fallback builds they degrade to the pipelined engine, which keeps the
+// parity assertions meaningful (if trivial) under -tags nommap.
 func runScan(t testing.TB, path string, engine string, blockSize int) (out scanOutcome) {
 	t.Helper()
 	var counters Counters
-	f, err := Open(path, blockSize, &counters)
+	var f *File
+	var err error
+	if engine == "mmap" || engine == "mmap-zerocopy" {
+		f, err = OpenMmap(path, blockSize, &counters)
+		if err == nil {
+			f.SetMmapZeroCopy(engine == "mmap-zerocopy")
+		}
+	} else {
+		f, err = Open(path, blockSize, &counters)
+	}
 	defer func() { out.stats = counters.Snapshot() }()
 	if err != nil {
 		out.err = err
@@ -51,7 +63,7 @@ func runScan(t testing.TB, path string, engine string, blockSize int) (out scanO
 	switch engine {
 	case "pipelined":
 		out.err = f.ForEach(collect)
-	case "batch":
+	case "batch", "mmap", "mmap-zerocopy":
 		out.err = f.ForEachBatch(func(batch []Record) error {
 			for _, r := range batch {
 				if err := collect(r); err != nil {
@@ -68,12 +80,16 @@ func runScan(t testing.TB, path string, engine string, blockSize int) (out scanO
 	return out
 }
 
-// assertParity scans path with all three engines and requires identical
+// parityEngines are the engines held to bytewise-oracle parity: records,
+// errors and Stats identical on every input, malformed ones included.
+var parityEngines = []string{"pipelined", "batch", "mmap", "mmap-zerocopy"}
+
+// assertParity scans path with every engine and requires identical
 // outcomes.
 func assertParity(t testing.TB, path string, blockSize int) {
 	t.Helper()
 	ref := runScan(t, path, "bytewise", blockSize)
-	for _, engine := range []string{"pipelined", "batch"} {
+	for _, engine := range parityEngines {
 		got := runScan(t, path, engine, blockSize)
 		if got.errString() != ref.errString() {
 			t.Fatalf("%s (block %d): error mismatch:\n got  %s\n want %s",

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // File is an open adjacency file supporting repeated sequential scans.
@@ -28,6 +29,11 @@ type File struct {
 	blockSize int
 	stats     *Counters
 	active    *prefetcher // the current scan's block pipeline, if any
+	activeM   *Scanner    // the current mapped scan, if any (see OpenMmap)
+
+	// mm is the shared memory mapping of an OpenMmap file (nil otherwise),
+	// shared by every view like the plan cache.
+	mm *mapState
 
 	// plan is the partition-planning cache (see Partitions), shared by every
 	// view of the file and guarded by its own mutex.
@@ -88,6 +94,7 @@ func (g *File) WithCounters(c *Counters) *File {
 	v := *g
 	v.stats = c
 	v.active = nil
+	v.activeM = nil
 	v.view = true
 	return &v
 }
@@ -121,30 +128,82 @@ func (g *File) SizeBytes() (int64, error) {
 
 // Close closes the underlying file, stopping any in-flight prefetch. On a
 // WithCounters view it only stops the view's in-flight scan; the descriptor
-// stays open until the original File is closed.
+// stays open until the original File is closed. On an OpenMmap file, Close
+// poisons the mapping — every in-flight mapped scan (its own views'
+// included) fails at its next batch — and returns without blocking; the
+// munmap itself is deferred until the last of those scans (and any PinMap
+// holder) releases its reference, so batches that alias the mapping are
+// never yanked out from under a reader mid-callback.
 func (g *File) Close() error {
 	g.stopActive()
 	if g.view {
 		return nil
 	}
+	if err := g.mm.close(); err != nil {
+		g.f.Close()
+		return err
+	}
 	return g.f.Close()
 }
 
-// stopActive shuts down the previous scan's prefetcher, if one is still
-// running (a scan that was abandoned before reaching end of file).
+// stopActive shuts down the previous scan's engine, if one is still running
+// (a scan that was abandoned before reaching end of file): the prefetcher
+// of a pipelined scan, or — for a mapped one — a stop request only. The
+// mapping reference itself is never dropped here: stopActive may run on a
+// goroutine other than the one driving the old scan (File.Close racing a
+// scan), and yanking the reference out from under a decode in flight would
+// let the munmap happen under a live reader. The old scanner releases when
+// it is next driven (it fails with errScanStopped), when Closed, or via its
+// GC cleanup.
 func (g *File) stopActive() {
 	if g.active != nil {
 		g.active.shutdown()
 		g.active = nil
 	}
+	if g.activeM != nil {
+		g.activeM.mstopreq.Store(true)
+		g.activeM = nil
+	}
 }
 
-// Record is one vertex's adjacency record as stored on disk. Neighbors is
-// only valid until the scanner advances past the batch that produced it.
+// Record is one vertex's adjacency record as stored on disk.
+//
+// Neighbors is only valid until the scanner advances past the batch that
+// produced it: the next NextBatch/Next call, the return of the ForEachBatch
+// callback, or the end of the scan, whichever comes first. On the arena
+// path the next batch overwrites the storage (silent corruption for code
+// that retained a slice — see SetAliasCheck for a debug mode that poisons
+// reused arenas so such bugs fail loudly); on the mmap zero-copy path the
+// slice aliases the file mapping, which File.Close unmaps. Callers that
+// need a record past its batch must copy the Neighbors slice.
 type Record struct {
 	ID        uint32
 	Neighbors []uint32
 }
+
+// AliasPoison is the sentinel SetAliasCheck fills reused neighbor arenas
+// with: a Neighbors slice retained across batches reads as AliasPoison
+// values instead of plausible stale IDs.
+const AliasPoison uint32 = 0xA11A5BAD
+
+// aliasCheck enables arena poisoning between batches (see SetAliasCheck).
+// It is read on the scan path without synchronization: toggle it before
+// starting scans, not during them.
+var aliasCheck = os.Getenv("GIO_ALIAS_CHECK") == "1"
+
+// SetAliasCheck toggles the batch-aliasing debug check. When on, every
+// batch boundary fills the outgoing batch's neighbor arena with AliasPoison
+// and quarantines it (the next batch decodes into fresh storage), so code
+// that illegally retains a Record.Neighbors slice across batches observes
+// an unmistakable sentinel forever after, instead of silently reading
+// whatever the next batch decoded into the same storage. The check costs an
+// arena-sized write plus fresh batch allocations per batch; it is meant for
+// tests and debugging, and can also be enabled with GIO_ALIAS_CHECK=1.
+// Toggle before scanning, not mid-scan. The check covers arena-backed
+// batches; on the mmap zero-copy path retained slices alias the read-only
+// file mapping instead, where File.Close already turns late reads into
+// faults rather than silent corruption.
+func SetAliasCheck(on bool) { aliasCheck = on }
 
 // Batch sizing for the block-pipelined decoder: a batch closes on whichever
 // comes first, a record-count cap (so per-record bookkeeping amortizes) or a
@@ -190,8 +249,24 @@ type Scanner struct {
 	// ctx, when non-nil, cancels the scan between batches: the next
 	// fillBatch fails with the ctx error wrapped in a ScanError carrying the
 	// scan position, and the prefetcher observes ctx.Done directly so a
-	// read-ahead in flight stops too.
+	// read-ahead in flight stops too. Mapped scans never block on I/O, so
+	// they check only at batch boundaries (between windows).
 	ctx context.Context
+
+	// Mapped mode (see OpenMmap): the decode window is a view of mdata —
+	// the mapping from baseOff to end of file — extended block-equivalent
+	// by block-equivalent by moreMapped instead of being refilled through
+	// the prefetcher. mref is this scan's reference on the mapping, released
+	// only on the scanner's own drive path (finish, fail, Close) or by GC
+	// cleanup; nil when the mapping could not be acquired (scanner born
+	// stopped). mstopreq is the cross-goroutine stop request (supersession by
+	// a new Scan): it makes the scan fail at its next boundary, where the
+	// scan itself releases mref.
+	mapped   bool
+	mdata    []byte
+	zerocopy bool // raw Neighbors alias the mapping (little-endian hosts)
+	mref     *mapRef
+	mstopreq atomic.Bool
 
 	err  error
 	done bool
@@ -210,6 +285,12 @@ func (g *File) Scan() (*Scanner, error) {
 // down. A nil ctx scans without cancellation, exactly like Scan.
 func (g *File) ScanCtx(ctx context.Context) (*Scanner, error) {
 	g.stopActive()
+	if g.mm != nil {
+		s := g.newMappedScanner(HeaderSize, 0, g.header.Vertices, false)
+		s.ctx = ctx
+		g.activeM = s
+		return s, nil
+	}
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
@@ -236,6 +317,9 @@ func (g *File) ScanCtx(ctx context.Context) (*Scanner, error) {
 // The caller must Close the scanner if it abandons it before the end of the
 // partition.
 func (g *File) ScanPartition(p Partition) *Scanner {
+	if g.mm != nil {
+		return g.newMappedScanner(p.StartOffset, p.StartRecord, p.StartRecord+p.Records, true)
+	}
 	return &Scanner{
 		file:     g,
 		pf:       newPrefetcher(g.f, p.StartOffset, g.blockSize, nil),
@@ -324,13 +408,35 @@ func (s *Scanner) fillBatch() {
 			return
 		}
 	}
+	if s.mapped && s.mapStopped() {
+		// The mapping was poisoned (File.Close) or this scan superseded:
+		// refuse to decode from window bytes that may be about to unmap.
+		s.fail(fmt.Errorf("%w: %s: record %d header: %v", ErrBadFormat, s.file.path, s.read, errScanStopped))
+		return
+	}
 	if s.read == s.limit {
 		s.finish()
 		return
 	}
+	if aliasCheck {
+		// Quarantine the outgoing batch's storage: fill the arena with
+		// AliasPoison and decode the next batch into fresh slices. Poisoning
+		// alone is not enough — the next batch would overwrite the sentinel
+		// with its own plausible neighbor data — so the old arena is never
+		// reused, and a Neighbors slice illegally retained across batches
+		// keeps reading AliasPoison for the rest of the process.
+		p := s.arena[:cap(s.arena)]
+		for i := range p {
+			p[i] = AliasPoison
+		}
+		s.arena = make([]uint32, 0, cap(s.arena))
+		s.recs = make([]Record, 0, cap(s.recs))
+	}
 	s.arena = s.arena[:0]
 	if s.file.header.Flags&FlagCompressed != 0 {
 		s.fillCompressed()
+	} else if s.zerocopy {
+		s.fillRawZeroCopy()
 	} else {
 		s.fillRaw()
 	}
@@ -393,6 +499,15 @@ func (s *Scanner) reserve(need int) bool {
 	if len(s.recs) > 0 {
 		return false
 	}
+	if aliasCheck {
+		// The old arena is about to be abandoned to the GC; poison it so
+		// slices retained from earlier batches cannot keep reading stale
+		// (still-plausible) neighbor IDs out of it.
+		p := s.arena[:cap(s.arena)]
+		for i := range p {
+			p[i] = AliasPoison
+		}
+	}
 	newCap := 2 * cap(s.arena)
 	if newCap < need {
 		newCap = need
@@ -428,6 +543,9 @@ func (s *Scanner) ensure(n int) error {
 // bytes first. It returns false when the stream is exhausted. Stats are
 // counted here, on the consumer side, block by block as ownership transfers.
 func (s *Scanner) more() bool {
+	if s.mapped {
+		return s.moreMapped()
+	}
 	if s.ioErr != nil {
 		return false
 	}
@@ -498,9 +616,17 @@ func (s *Scanner) fail(err error) {
 // scan mid-file while keeping the File open. Idempotent.
 func (s *Scanner) Close() { s.close() }
 
-// close stops this scan's prefetcher. Detached scanners never touch the
+// close stops this scan's engine: the prefetcher of a pipelined scan, or
+// the mapping reference of a mapped one. Detached scanners never touch the
 // file's active-scan slot: they may close concurrently on worker goroutines.
+// A mapped scanner likewise leaves the slot alone (stopMapped is idempotent,
+// so the file stopping it again later is harmless), keeping close free of
+// cross-goroutine writes to the File.
 func (s *Scanner) close() {
+	if s.mapped {
+		s.stopMapped()
+		return
+	}
 	s.pf.shutdown()
 	if !s.detached && s.file.active == s.pf {
 		s.file.active = nil
