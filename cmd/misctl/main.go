@@ -1,0 +1,366 @@
+// Command misctl is the client for misd, the graph-solver daemon.
+//
+// Usage:
+//
+//	misctl -socket /tmp/misd.sock status
+//	misctl -socket /tmp/misd.sock stat [graph]
+//	misctl -socket /tmp/misd.sock solve -graph web -alg two-k-swap
+//	misctl -socket /tmp/misd.sock solve -graph web -alg greedy -verify -async
+//	misctl -socket /tmp/misd.sock verify -graph web 0 2 4
+//	misctl -socket /tmp/misd.sock bound web
+//	misctl -socket /tmp/misd.sock color -graph web -max-colors 8
+//	misctl -socket /tmp/misd.sock ops
+//	misctl -socket /tmp/misd.sock ops -watch op-3
+//	misctl -socket /tmp/misd.sock ops -cancel op-3
+//
+// -addr host:port talks TCP instead of the unix socket. Responses are
+// printed as indented JSON; daemon errors exit 1 with "code: message" on
+// stderr. `ops -watch <id>` follows the operation's SSE event feed until
+// the terminal event.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("misctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		socket = fs.String("socket", "", "unix socket of the misd daemon")
+		addr   = fs.String("addr", "", "TCP address of the misd daemon (instead of -socket)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*socket == "") == (*addr == "") {
+		fmt.Fprintln(stderr, "misctl: exactly one of -socket or -addr is required")
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: misctl [-socket path | -addr host:port] <status|stat|solve|verify|bound|color|ops> ...")
+		return 2
+	}
+
+	c := newClient(*socket, *addr)
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	var err error
+	switch cmd {
+	case "status":
+		err = c.getJSON(ctx, "/v1/status", stdout)
+	case "stat":
+		path := "/v1/graphs"
+		if len(rest) > 0 {
+			path += "/" + rest[0]
+		}
+		err = c.getJSON(ctx, path, stdout)
+	case "solve":
+		err = c.solve(ctx, rest, stdout, stderr)
+	case "verify":
+		err = c.verify(ctx, rest, stdout, stderr)
+	case "bound":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "usage: misctl bound <graph>")
+			return 2
+		}
+		err = c.getJSON(ctx, "/v1/graphs/"+rest[0]+"/bound", stdout)
+	case "color":
+		err = c.color(ctx, rest, stdout, stderr)
+	case "ops":
+		err = c.ops(ctx, rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "misctl: unknown command %q\n", cmd)
+		return 2
+	}
+	if err != nil {
+		var ue *usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		fmt.Fprintf(stderr, "misctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks a flag-parse failure already reported by the FlagSet.
+type usageError struct{}
+
+func (*usageError) Error() string { return "usage" }
+
+// client speaks the misd REST API over a unix socket or TCP.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(socket, addr string) *client {
+	if socket != "" {
+		return &client{
+			base: "http://misd",
+			http: &http.Client{Transport: &http.Transport{
+				DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "unix", socket)
+				},
+			}},
+		}
+	}
+	return &client{base: "http://" + addr, http: &http.Client{}}
+}
+
+// do performs one API call and decodes the error envelope on failure.
+func (c *client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var envelope struct {
+			Error *server.APIError `json:"error"`
+		}
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != nil {
+			return envelope.Error
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// getJSON fetches path and pretty-prints the response.
+func (c *client) getJSON(ctx context.Context, path string, stdout io.Writer) error {
+	var v any
+	if err := c.do(ctx, http.MethodGet, path, nil, &v); err != nil {
+		return err
+	}
+	return printJSON(stdout, v)
+}
+
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+func (c *client) solve(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("misctl solve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		graph    = fs.String("graph", "", "graph to solve")
+		alg      = fs.String("alg", "two-k-swap", "algorithm")
+		rounds   = fs.Int("max-rounds", 0, "cap swap rounds (0 = until convergence)")
+		early    = fs.Int("early-stop", 0, "stop swaps after this many rounds (0 = off)")
+		seed     = fs.Int64("seed", 1, "seed for the randomized algorithm")
+		timeout  = fs.Duration("timeout", 0, "per-request deadline (0 = daemon default)")
+		verify   = fs.Bool("verify", false, "also verify the result")
+		vertices = fs.Bool("vertices", false, "include the set members in the response")
+		async    = fs.Bool("async", false, "run as a background operation")
+		noCache  = fs.Bool("no-cache", false, "bypass the result cache")
+		sorted   = fs.Bool("baseline-on-sorted", false, "allow baseline on a degree-sorted file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %w", &usageError{}, err)
+	}
+	if *graph == "" {
+		fmt.Fprintln(stderr, "misctl solve: -graph is required")
+		return &usageError{}
+	}
+	req := server.SolveRequest{
+		Graph:            *graph,
+		Algorithm:        *alg,
+		MaxRounds:        *rounds,
+		EarlyStop:        *early,
+		Seed:             *seed,
+		TimeoutMS:        timeout.Milliseconds(),
+		Verify:           *verify,
+		IncludeVertices:  *vertices,
+		Async:            *async,
+		NoCache:          *noCache,
+		BaselineOnSorted: *sorted,
+	}
+	if *async {
+		var ref server.OperationRef
+		if err := c.do(ctx, http.MethodPost, "/v1/solve", &req, &ref); err != nil {
+			return err
+		}
+		return printJSON(stdout, ref)
+	}
+	var resp server.SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", &req, &resp); err != nil {
+		return err
+	}
+	return printJSON(stdout, resp)
+}
+
+func (c *client) verify(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("misctl verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	graph := fs.String("graph", "", "graph to verify against")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = daemon default)")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %w", &usageError{}, err)
+	}
+	if *graph == "" || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: misctl verify -graph <name> <vertex>...")
+		return &usageError{}
+	}
+	req := server.VerifyRequest{Graph: *graph, TimeoutMS: timeout.Milliseconds()}
+	for _, a := range fs.Args() {
+		v, err := strconv.ParseUint(a, 10, 32)
+		if err != nil {
+			fmt.Fprintf(stderr, "misctl verify: bad vertex %q\n", a)
+			return &usageError{}
+		}
+		req.Vertices = append(req.Vertices, uint32(v))
+	}
+	var resp server.VerifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/verify", &req, &resp); err != nil {
+		return err
+	}
+	if err := printJSON(stdout, resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("set is not a maximal independent set: %s", resp.Reason)
+	}
+	return nil
+}
+
+func (c *client) color(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("misctl color", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	graph := fs.String("graph", "", "graph to color")
+	maxColors := fs.Int("max-colors", 0, "cap color classes (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = daemon default)")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %w", &usageError{}, err)
+	}
+	if *graph == "" {
+		fmt.Fprintln(stderr, "misctl color: -graph is required")
+		return &usageError{}
+	}
+	req := server.ColorRequest{Graph: *graph, MaxColors: *maxColors, TimeoutMS: timeout.Milliseconds()}
+	var resp server.ColorResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/color", &req, &resp); err != nil {
+		return err
+	}
+	return printJSON(stdout, resp)
+}
+
+func (c *client) ops(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("misctl ops", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cancel := fs.Bool("cancel", false, "cancel the operation")
+	watch := fs.Bool("watch", false, "follow the operation's event feed to the terminal event")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %w", &usageError{}, err)
+	}
+	if fs.NArg() == 0 {
+		if *cancel || *watch {
+			fmt.Fprintln(stderr, "usage: misctl ops [-cancel|-watch] <id>")
+			return &usageError{}
+		}
+		return c.getJSON(ctx, "/v1/operations", stdout)
+	}
+	id := fs.Arg(0)
+	if *cancel {
+		var info server.OperationInfo
+		if err := c.do(ctx, http.MethodDelete, "/v1/operations/"+id, nil, &info); err != nil {
+			return err
+		}
+		return printJSON(stdout, info)
+	}
+	if *watch {
+		return c.watch(ctx, id, stdout)
+	}
+	return c.getJSON(ctx, "/v1/operations/"+id, stdout)
+}
+
+// watch streams the operation's SSE feed, one JSON event per line.
+func (c *client) watch(ctx context.Context, id string, stdout io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/operations/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var envelope struct {
+			Error *server.APIError `json:"error"`
+		}
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != nil {
+			return envelope.Error
+		}
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var failed bool
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		fmt.Fprintln(stdout, data)
+		var ev server.Event
+		if json.Unmarshal([]byte(data), &ev) == nil && ev.Type == "error" {
+			failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("operation %s failed", id)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	mis "repro"
+	"repro/internal/server"
+)
+
+// startServer serves testdata/tiny.adj on a temp unix socket using the
+// server package directly (misd's core without the process wrapper).
+func startServer(t *testing.T) (socket string) {
+	t.Helper()
+	tiny, err := filepath.Abs("../../testdata/tiny.adj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := mis.OpenRegistry(context.Background(), map[string]string{"tiny": tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Registry: reg, Logf: t.Logf})
+	socket = filepath.Join(t.TempDir(), "misd.sock")
+	l, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		srv.Close()
+		reg.Close()
+	})
+	return socket
+}
+
+// misctl runs one misctl invocation in-process and returns its output.
+func misctl(t *testing.T, socket string, args ...string) (stdout string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), append([]string{"-socket", socket}, args...), &out, &errb)
+	if errb.Len() > 0 {
+		t.Logf("misctl stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+func TestSolveStatVerifyFlow(t *testing.T) {
+	socket := startServer(t)
+
+	out, code := misctl(t, socket, "solve", "-graph", "tiny", "-alg", "greedy", "-vertices")
+	if code != 0 {
+		t.Fatalf("solve exit %d: %s", code, out)
+	}
+	var solve server.SolveResponse
+	if err := json.Unmarshal([]byte(out), &solve); err != nil {
+		t.Fatal(err)
+	}
+	if solve.Cache != "miss" || solve.Size == 0 || len(solve.Vertices) != solve.Size {
+		t.Fatalf("first solve %+v", solve)
+	}
+
+	out, code = misctl(t, socket, "solve", "-graph", "tiny", "-alg", "greedy")
+	if code != 0 {
+		t.Fatalf("second solve exit %d", code)
+	}
+	var again server.SolveResponse
+	if err := json.Unmarshal([]byte(out), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Cache != "hit" {
+		t.Fatalf("second solve cache %q, want hit", again.Cache)
+	}
+
+	// Feed the solved set back through verify: it must pass.
+	args := []string{"verify", "-graph", "tiny"}
+	for _, v := range solve.Vertices {
+		args = append(args, itoa(v))
+	}
+	out, code = misctl(t, socket, args...)
+	if code != 0 {
+		t.Fatalf("verify of solver output failed: %s", out)
+	}
+
+	// A single arbitrary vertex is independent but almost surely not
+	// maximal on tiny.adj: exit 1 with ok=false in the report.
+	out, code = misctl(t, socket, "verify", "-graph", "tiny", itoa(solve.Vertices[0]))
+	if code != 1 {
+		t.Fatalf("non-maximal set exit %d, want 1 (%s)", code, out)
+	}
+	var verdict server.VerifyResponse
+	if err := json.Unmarshal([]byte(out), &verdict); err != nil {
+		t.Fatal(err)
+	}
+	if verdict.OK {
+		t.Fatal("singleton accepted as maximal")
+	}
+
+	out, code = misctl(t, socket, "stat", "tiny")
+	if code != 0 || !strings.Contains(out, `"digest"`) {
+		t.Fatalf("stat exit %d: %s", code, out)
+	}
+	out, code = misctl(t, socket, "status")
+	if code != 0 || !strings.Contains(out, `"hits"`) {
+		t.Fatalf("status exit %d: %s", code, out)
+	}
+	out, code = misctl(t, socket, "bound", "tiny")
+	if code != 0 || !strings.Contains(out, `"upper_bound"`) {
+		t.Fatalf("bound exit %d: %s", code, out)
+	}
+}
+
+func TestAsyncAndWatch(t *testing.T) {
+	socket := startServer(t)
+
+	out, code := misctl(t, socket, "solve", "-graph", "tiny", "-alg", "one-k-swap", "-async")
+	if code != 0 {
+		t.Fatalf("async solve exit %d: %s", code, out)
+	}
+	var ref server.OperationRef
+	if err := json.Unmarshal([]byte(out), &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Operation == "" {
+		t.Fatal("no operation id")
+	}
+
+	// watch follows the feed to the terminal event even if the operation
+	// already finished (the buffer replays).
+	out, code = misctl(t, socket, "ops", "-watch", ref.Operation)
+	if code != 0 {
+		t.Fatalf("watch exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, `"type":"done"`) {
+		t.Fatalf("watch output lacks terminal event: %s", out)
+	}
+
+	out, code = misctl(t, socket, "ops")
+	if code != 0 || !strings.Contains(out, ref.Operation) {
+		t.Fatalf("ops listing exit %d: %s", code, out)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	socket := startServer(t)
+
+	if _, code := misctl(t, socket, "solve", "-graph", "nope"); code != 1 {
+		t.Fatalf("unknown graph exit %d, want 1", code)
+	}
+	if _, code := misctl(t, socket, "solve"); code != 2 {
+		t.Fatalf("missing -graph exit %d, want 2", code)
+	}
+	if _, code := misctl(t, socket, "frobnicate"); code != 2 {
+		t.Fatalf("unknown command exit %d, want 2", code)
+	}
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"status"}, &out, &out); code != 2 {
+		t.Fatalf("no -socket/-addr exit %d, want 2", code)
+	}
+}
+
+func itoa(v uint32) string { return strconv.FormatUint(uint64(v), 10) }

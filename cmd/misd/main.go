@@ -1,0 +1,187 @@
+// Command misd is the graph-solver daemon: it loads a registry of
+// adjacency files and journal stores and serves solve / verify / stat /
+// bound / color requests over a unix socket (and optionally TCP) as a JSON
+// REST API, with a digest-keyed result cache in front of the solvers.
+//
+// Usage:
+//
+//	misd -graphs ./data -socket /tmp/misd.sock
+//	misd -socket /tmp/misd.sock web=web.adj dyn=journal-dir
+//	misd -graphs ./data -tcp 127.0.0.1:7333 -max-solves 4
+//
+// Graphs come from -graphs (a directory scanned for *.adj files and
+// journal subdirectories) and/or positional name=path arguments. Identical
+// concurrent requests are deduplicated onto one solve; repeated ones are
+// served from the cache until the underlying file's content digest
+// changes. -max-solves and -max-queue bound concurrent scan work; requests
+// beyond both are refused with HTTP 429. SIGINT/SIGTERM shut the daemon
+// down gracefully, cancelling in-flight solves.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	mis "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("misd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		socket    = fs.String("socket", "", "unix socket path to listen on")
+		tcp       = fs.String("tcp", "", "TCP address to listen on (additionally or instead)")
+		graphsDir = fs.String("graphs", "", "directory scanned for *.adj files and journal stores")
+		maxSolves = fs.Int("max-solves", 0, "max concurrently executing solves (0 = GOMAXPROCS)")
+		maxQueue  = fs.Int("max-queue", 0, "max solves queued for a slot (0 = 64, -1 = none)")
+		cacheN    = fs.Int("cache", 0, "max cached results (0 = 256)")
+		defTO     = fs.Duration("default-timeout", 0, "deadline for requests that set none (0 = unlimited)")
+		maxTO     = fs.Duration("max-timeout", 0, "cap on client-requested timeouts (0 = uncapped)")
+		workers   = fs.Int("workers", 1, "scan parallelism per solve (0 = GOMAXPROCS); results identical for any value")
+		mmap      = fs.Bool("mmap", false, "scan plain files through a memory mapping")
+		quiet     = fs.Bool("quiet", false, "suppress the request/lifecycle log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *socket == "" && *tcp == "" {
+		fmt.Fprintln(stderr, "misd: need -socket and/or -tcp to listen on")
+		return 2
+	}
+
+	graphs := make(map[string]string)
+	if *graphsDir != "" {
+		found, err := mis.DiscoverGraphs(*graphsDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "misd: scanning %s: %v\n", *graphsDir, err)
+			return 1
+		}
+		for name, path := range found {
+			graphs[name] = path
+		}
+	}
+	for _, arg := range fs.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "misd: graph argument %q is not name=path\n", arg)
+			return 2
+		}
+		graphs[name] = path
+	}
+	if len(graphs) == 0 {
+		fmt.Fprintln(stderr, "misd: no graphs to serve (use -graphs or name=path arguments)")
+		return 2
+	}
+
+	ropts := []mis.RegistryOption{mis.RegistryWorkers(*workers)}
+	if *mmap {
+		ropts = append(ropts, mis.RegistryMmap())
+	}
+	reg, err := mis.OpenRegistry(ctx, graphs, ropts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "misd: %v\n", err)
+		return 1
+	}
+	defer reg.Close()
+
+	logger := log.New(stderr, "", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		Registry:       reg,
+		MaxSolves:      *maxSolves,
+		MaxQueue:       *maxQueue,
+		CacheEntries:   *cacheN,
+		DefaultTimeout: *defTO,
+		MaxTimeout:     *maxTO,
+		Workers:        *workers,
+		Logf:           logf,
+	})
+	defer srv.Close()
+
+	var listeners []net.Listener
+	if *socket != "" {
+		l, err := listenUnix(*socket)
+		if err != nil {
+			fmt.Fprintf(stderr, "misd: %v\n", err)
+			return 1
+		}
+		defer os.Remove(*socket)
+		listeners = append(listeners, l)
+		logf("misd: listening on unix %s", *socket)
+	}
+	if *tcp != "" {
+		l, err := net.Listen("tcp", *tcp)
+		if err != nil {
+			fmt.Fprintf(stderr, "misd: %v\n", err)
+			return 1
+		}
+		listeners = append(listeners, l)
+		logf("misd: listening on tcp %s", l.Addr())
+	}
+	logf("misd: serving %d graphs: %s", len(graphs), strings.Join(reg.Names(), ", "))
+
+	errc := make(chan error, len(listeners))
+	var wg sync.WaitGroup
+	for _, l := range listeners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errc <- srv.Serve(l)
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+		logf("misd: shutting down")
+		srv.Close()
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(stderr, "misd: serve: %v\n", err)
+			srv.Close()
+			wg.Wait()
+			return 1
+		}
+	}
+	wg.Wait()
+	return 0
+}
+
+// listenUnix listens on path, clearing a stale socket left by a dead
+// daemon: if the path holds a socket nobody answers on, it is removed and
+// the listen retried. A live daemon's socket is left alone.
+func listenUnix(path string) (net.Listener, error) {
+	l, err := net.Listen("unix", path)
+	if err == nil || !errors.Is(err, syscall.EADDRINUSE) {
+		return l, err
+	}
+	conn, derr := net.DialTimeout("unix", path, time.Second)
+	if derr == nil {
+		conn.Close()
+		return nil, fmt.Errorf("socket %s already served by a live daemon", path)
+	}
+	if rerr := os.Remove(path); rerr != nil {
+		return nil, fmt.Errorf("stale socket %s: %w", path, rerr)
+	}
+	return net.Listen("unix", path)
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// startDaemon runs misd in-process on a temp unix socket serving
+// testdata/tiny.adj and waits until it answers.
+func startDaemon(t *testing.T, extra ...string) (socket string, stop func()) {
+	t.Helper()
+	tiny, err := filepath.Abs("../../testdata/tiny.adj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tiny); err != nil {
+		t.Fatal(err)
+	}
+	socket = filepath.Join(t.TempDir(), "misd.sock")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	var stderr bytes.Buffer
+	args := append([]string{"-socket", socket, "-quiet", "tiny=" + tiny}, extra...)
+	go func() { done <- run(ctx, args, &stderr, &stderr) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("misd exited %d: %s", code, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("misd did not shut down")
+		}
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("unix", socket, time.Second)
+		if err == nil {
+			conn.Close()
+			return socket, cancel
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v (log: %s)", err, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func unixClient(socket string) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", socket)
+		},
+	}}
+}
+
+// TestDaemonSmoke boots misd on a unix socket, solves tiny.adj twice and
+// checks the second request is a cache hit.
+func TestDaemonSmoke(t *testing.T) {
+	socket, _ := startDaemon(t)
+	client := unixClient(socket)
+
+	solve := func() map[string]any {
+		t.Helper()
+		body := `{"graph":"tiny","algorithm":"greedy"}`
+		resp, err := client.Post("http://misd/v1/solve", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve status %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := solve()
+	if first["cache"] != "miss" {
+		t.Fatalf("first solve cache = %v, want miss", first["cache"])
+	}
+	if size, ok := first["size"].(float64); !ok || size <= 0 {
+		t.Fatalf("bad solve size %v", first["size"])
+	}
+	second := solve()
+	if second["cache"] != "hit" {
+		t.Fatalf("second solve cache = %v, want hit", second["cache"])
+	}
+	if second["size"] != first["size"] || second["digest"] != first["digest"] {
+		t.Fatalf("cache hit disagrees: %v vs %v", second, first)
+	}
+
+	resp, err := client.Get("http://misd/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Graphs []string `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Graphs) != 1 || st.Graphs[0] != "tiny" {
+		t.Fatalf("status graphs %v", st.Graphs)
+	}
+}
+
+// TestStaleSocketReclaimed verifies a dead daemon's socket file does not
+// block a restart.
+func TestStaleSocketReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	socket := filepath.Join(dir, "misd.sock")
+	l, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the listener but leave the socket file behind, as a crashed
+	// daemon would.
+	unixL := l.(*net.UnixListener)
+	unixL.SetUnlinkOnClose(false)
+	unixL.Close()
+	if _, err := os.Stat(socket); err != nil {
+		t.Fatalf("stale socket not left behind: %v", err)
+	}
+
+	l2, err := listenUnix(socket)
+	if err != nil {
+		t.Fatalf("stale socket not reclaimed: %v", err)
+	}
+	l2.Close()
+}
+
+func TestArgumentValidation(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if code := run(ctx, nil, &out, &out); code != 2 {
+		t.Fatalf("no listen address: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run(ctx, []string{"-socket", filepath.Join(t.TempDir(), "s"), "notapair"}, &out, &out); code != 2 {
+		t.Fatalf("malformed graph arg: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run(ctx, []string{"-socket", filepath.Join(t.TempDir(), "s")}, &out, &out); code != 2 {
+		t.Fatalf("no graphs: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,33 @@
+package mis
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNilArgument is the sentinel every nil-argument failure wraps:
+// errors.Is(err, mis.ErrNilArgument) identifies the whole class. The daemon
+// feeds client-supplied inputs straight into the Solver API, so a nil
+// *Result or *Coloring must come back as an error, never a panic.
+var ErrNilArgument = errors.New("mis: nil argument")
+
+// NilArgumentError reports which argument of which entry point was nil. It
+// wraps ErrNilArgument, so both errors.Is(err, ErrNilArgument) and
+// errors.As(&NilArgumentError{}) work.
+type NilArgumentError struct {
+	// Method is the entry point that rejected the call, e.g. "Verify".
+	Method string
+	// Arg names the nil argument, e.g. "result".
+	Arg string
+}
+
+func (e *NilArgumentError) Error() string {
+	return fmt.Sprintf("mis: %s: nil %s", e.Method, e.Arg)
+}
+
+func (e *NilArgumentError) Unwrap() error { return ErrNilArgument }
+
+// nilArg builds the typed error for a nil argument check.
+func nilArg(method, arg string) error {
+	return &NilArgumentError{Method: method, Arg: arg}
+}

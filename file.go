@@ -143,6 +143,18 @@ func (f *File) DegreeSorted() bool { return f.inner.Header().DegreeSorted() }
 // SizeBytes returns the on-disk size.
 func (f *File) SizeBytes() (int64, error) { return f.inner.SizeBytes() }
 
+// ContentDigest returns the SHA-256 of the file's on-disk contents as
+// lowercase hex — the cache key component that names exactly this graph.
+// It is computed lazily on the first call (one positional read pass that
+// leaves in-flight scans undisturbed) and cached for the lifetime of the
+// open file; reopening the path — or a journal compaction flipping to a new
+// base generation, which opens a fresh file — starts from an empty cache,
+// so a digest never outlives the bytes it names. ctx cancels the
+// computation between blocks; failures are not cached.
+func (f *File) ContentDigest(ctx context.Context) (string, error) {
+	return f.inner.ContentDigest(ctx)
+}
+
 // Stats returns the accumulated I/O statistics for all operations on f.
 func (f *File) Stats() IOStats { return IOStats(f.stats.Snapshot()) }
 

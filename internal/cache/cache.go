@@ -1,0 +1,224 @@
+// Package cache provides the daemon's result cache: a bounded LRU keyed by
+// opaque strings (the server keys by content digest + algorithm + options)
+// with singleflight deduplication — concurrent Do calls for one key share a
+// single execution of the compute function, so the millionth identical
+// "MIS of graph G" request is a map lookup and a burst of identical
+// requests costs one solve.
+//
+// Execution is detached from any single request: the compute function runs
+// on its own goroutine under a context derived from the cache's base
+// context, and that context is canceled only when every request interested
+// in the key has abandoned it (or the cache is closed). A request with a
+// short deadline therefore stops waiting at its deadline without killing
+// the computation other requests still want; the last one out turns off the
+// lights.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Outcome reports how a Do call was satisfied.
+type Outcome int
+
+const (
+	// Miss: this call started the computation.
+	Miss Outcome = iota
+	// Hit: the value was already cached.
+	Hit
+	// Shared: the call joined a computation another call had in flight.
+	Shared
+)
+
+// String returns the lowercase wire name used in API responses.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a snapshot of the cache's effectiveness counters.
+type Stats struct {
+	Entries   int    // cached values currently held
+	Inflight  int    // computations currently executing
+	Hits      uint64 // Do calls answered from the cache
+	Misses    uint64 // Do calls that started a computation
+	Shared    uint64 // Do calls that joined an in-flight computation
+	Evictions uint64 // entries dropped by the LRU bound
+}
+
+// Cache is a bounded LRU of computed values with singleflight execution.
+// The zero value is not usable; construct with New. All methods are safe
+// for concurrent use.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	max      int
+	base     context.Context
+	lru      *list.List // front = most recently used; values are *entry[V]
+	index    map[string]*list.Element
+	inflight map[string]*flight[V]
+	stats    Stats
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// flight is one in-progress computation. waiters counts every Do call still
+// interested in the result, the initiator included; when it reaches zero
+// before completion, the execution context is canceled.
+type flight[V any] struct {
+	done    chan struct{}
+	val     V
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// New returns a cache holding at most maxEntries computed values (≤ 0
+// selects 256), executing compute functions under contexts derived from
+// base. Canceling base aborts every in-flight computation and makes further
+// ones fail immediately — pass the daemon's root context so shutdown drains
+// the cache's work.
+func New[V any](base context.Context, maxEntries int) *Cache[V] {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	if base == nil {
+		base = context.Background()
+	}
+	return &Cache[V]{
+		max:      maxEntries,
+		base:     base,
+		lru:      list.New(),
+		index:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight[V]),
+	}
+}
+
+// Do returns the value for key, computing it with fn if needed. Exactly one
+// execution of fn runs per key at a time; concurrent callers share it. fn
+// receives a context detached from ctx (see the package comment) and its
+// successful result is cached; errors are returned to every sharing caller
+// and not cached, so the next Do retries.
+//
+// ctx governs only this call's willingness to wait: if it ends first, Do
+// returns ctx.Err() while the computation keeps running for any remaining
+// callers — unless this was the last one, in which case the computation is
+// canceled.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry[V]).val
+		c.mu.Unlock()
+		return v, Hit, nil
+	}
+	// Join a live flight; one whose every waiter has abandoned it is already
+	// canceled and about to fail, so start fresh instead of inheriting the
+	// cancellation (run() deletes only its own map entry, so the stale
+	// flight's exit cannot orphan the replacement).
+	if fl, ok := c.inflight[key]; ok && fl.waiters > 0 {
+		fl.waiters++
+		c.stats.Shared++
+		c.mu.Unlock()
+		return c.wait(ctx, key, fl, Shared)
+	}
+	cctx, cancel := context.WithCancel(c.base)
+	fl := &flight[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.inflight[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	go c.run(key, fl, cctx, fn)
+	return c.wait(ctx, key, fl, Miss)
+}
+
+// run executes fn and completes the flight.
+func (c *Cache[V]) run(key string, fl *flight[V], cctx context.Context, fn func(context.Context) (V, error)) {
+	val, err := fn(cctx)
+	fl.cancel() // release the derived context; the result is in hand
+	c.mu.Lock()
+	fl.val, fl.err = val, err
+	if c.inflight[key] == fl {
+		delete(c.inflight, key)
+	}
+	if err == nil {
+		c.insert(key, val)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// wait blocks until the flight completes or ctx ends, whichever is first.
+func (c *Cache[V]) wait(ctx context.Context, key string, fl *flight[V], how Outcome) (V, Outcome, error) {
+	select {
+	case <-fl.done:
+		return fl.val, how, fl.err
+	case <-ctx.Done():
+		// Completion may have raced the cancellation; prefer the result.
+		select {
+		case <-fl.done:
+			return fl.val, how, fl.err
+		default:
+		}
+		c.mu.Lock()
+		fl.waiters--
+		abandon := fl.waiters == 0
+		c.mu.Unlock()
+		if abandon {
+			fl.cancel()
+		}
+		var zero V
+		return zero, how, ctx.Err()
+	}
+}
+
+// insert caches a computed value, evicting from the LRU tail past the bound.
+// Caller holds c.mu.
+func (c *Cache[V]) insert(key string, val V) {
+	if el, ok := c.index[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.lru.PushFront(&entry[V]{key: key, val: val})
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.index, tail.Value.(*entry[V]).key)
+		c.stats.Evictions++
+	}
+}
+
+// Get returns the cached value for key without computing, refreshing its
+// recency on a hit. The miss is not counted against the stats.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Inflight = len(c.inflight)
+	return s
+}

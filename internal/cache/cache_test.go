@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New[int](context.Background(), 4)
+	calls := 0
+	fn := func(context.Context) (int, error) { calls++; return 42, nil }
+
+	v, how, err := c.Do(context.Background(), "k", fn)
+	if err != nil || v != 42 || how != Miss {
+		t.Fatalf("first Do = %d, %v, %v", v, how, err)
+	}
+	v, how, err = c.Do(context.Background(), "k", fn)
+	if err != nil || v != 42 || how != Hit {
+		t.Fatalf("second Do = %d, %v, %v", v, how, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	c := New[int](context.Background(), 4)
+	var calls atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(context.Context) (int, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return 7, nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, how, err := c.Do(context.Background(), "k", fn)
+			if err != nil || v != 7 {
+				t.Errorf("Do %d = %d, %v", i, v, err)
+			}
+			outcomes[i] = how
+		}(i)
+	}
+	<-started
+	// Wait until every caller has either started or joined the flight, then
+	// let it finish.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		st := c.Stats()
+		if st.Misses+st.Shared == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("callers never all joined: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers", got, n)
+	}
+	var misses, shared int
+	for _, o := range outcomes {
+		switch o {
+		case Miss:
+			misses++
+		case Shared:
+			shared++
+		}
+	}
+	if misses != 1 || shared != n-1 {
+		t.Fatalf("outcomes: %d misses, %d shared (want 1, %d)", misses, shared, n-1)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](context.Background(), 4)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+		calls++
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, how, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+		calls++
+		return 9, nil
+	})
+	if err != nil || v != 9 || how != Miss {
+		t.Fatalf("retry = %d, %v, %v", v, how, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](context.Background(), 2)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(context.Background(), k, func(context.Context) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 survived past the bound")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted early", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestWaiterDeadlineDetaches pins the deadline contract: a caller whose ctx
+// expires stops waiting (returning its own ctx error) while the computation
+// keeps running for the remaining caller and lands in the cache.
+func TestWaiterDeadlineDetaches(t *testing.T) {
+	c := New[int](context.Background(), 4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(cctx context.Context) (int, error) {
+		close(started)
+		select {
+		case <-release:
+			return 11, nil
+		case <-cctx.Done():
+			return 0, cctx.Err()
+		}
+	}
+
+	patient := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", fn)
+		patient <- err
+	}()
+	<-started
+
+	hurried, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, _, err := c.Do(hurried, "k", fn)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hurried caller err = %v", err)
+	}
+
+	close(release)
+	if err := <-patient; err != nil {
+		t.Fatalf("patient caller err = %v", err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("result not cached after hurried caller left")
+	}
+}
+
+// TestLastWaiterCancelsComputation pins the other half: when every caller
+// abandons the key, the compute context is canceled so the work stops.
+func TestLastWaiterCancelsComputation(t *testing.T) {
+	c := New[int](context.Background(), 4)
+	started := make(chan struct{})
+	canceled := make(chan struct{})
+	fn := func(cctx context.Context) (int, error) {
+		close(started)
+		<-cctx.Done()
+		close(canceled)
+		return 0, cctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-started; cancel() }()
+	_, _, err := c.Do(ctx, "k", fn)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("computation not canceled after last waiter left")
+	}
+}
+
+// TestAbandonedFlightNotJoined: a Do arriving after every waiter abandoned a
+// still-running flight starts a fresh computation instead of inheriting the
+// canceled one.
+func TestAbandonedFlightNotJoined(t *testing.T) {
+	c := New[int](context.Background(), 4)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var firstRuns atomic.Int32
+	first := func(cctx context.Context) (int, error) {
+		firstRuns.Add(1)
+		close(started)
+		<-cctx.Done()
+		<-block // hold the dead flight in the map past the second Do
+		return 0, cctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-started; cancel() }()
+	if _, _, err := c.Do(ctx, "k", first); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first err = %v", err)
+	}
+
+	v, how, err := c.Do(context.Background(), "k", func(context.Context) (int, error) { return 5, nil })
+	close(block)
+	if err != nil || v != 5 || how != Miss {
+		t.Fatalf("second Do = %d, %v, %v", v, how, err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh result not cached")
+	}
+}
+
+func TestBaseContextCancelAbortsWork(t *testing.T) {
+	base, cancel := context.WithCancel(context.Background())
+	c := New[int](base, 4)
+	cancel()
+	_, _, err := c.Do(context.Background(), "k", func(cctx context.Context) (int, error) {
+		return 0, cctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package gio
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// digestState caches a file's content digest. Like the partition-plan cache
+// it is shared by every WithCounters view of one open file, guarded by its
+// own mutex: the first caller computes, everyone after reads the cached sum.
+// The cache lives exactly as long as the open file — reopening a path (or a
+// journal generation flip, which opens a fresh base file) starts from an
+// empty cache, so a digest can never outlive the bytes it names.
+type digestState struct {
+	mu  sync.Mutex
+	sum string // empty until computed; only successful computations cache
+}
+
+// ContentDigest returns the SHA-256 of the file's full on-disk contents
+// (header included) as lowercase hex. It is computed lazily on first need
+// with positional reads — an in-flight scan is undisturbed — and cached for
+// the lifetime of the open file, shared by every WithCounters view. ctx
+// cancels the computation between blocks; a canceled or failed computation
+// is not cached, so a later call retries. The bytes read are accounted into
+// the file's counters (never as a scan: digesting is not a pass of the
+// paper's I/O cost model).
+func (g *File) ContentDigest(ctx context.Context) (string, error) {
+	g.dig.mu.Lock()
+	defer g.dig.mu.Unlock()
+	if g.dig.sum != "" {
+		return g.dig.sum, nil
+	}
+	sum, err := g.computeDigest(ctx)
+	if err != nil {
+		return "", err
+	}
+	g.dig.sum = sum
+	return sum, nil
+}
+
+func (g *File) computeDigest(ctx context.Context) (string, error) {
+	h := sha256.New()
+	buf := make([]byte, g.blockSize)
+	var off int64
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", fmt.Errorf("gio: content digest of %s: %w", g.path, err)
+		}
+		n, err := g.f.ReadAt(buf, off)
+		if n > 0 {
+			h.Write(buf[:n])
+			off += int64(n)
+			if g.stats != nil {
+				g.stats.AddBytesRead(uint64(n))
+				g.stats.AddBlocksRead(1)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", fmt.Errorf("gio: content digest of %s: %w", g.path, err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

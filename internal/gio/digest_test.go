@@ -1,0 +1,159 @@
+package gio
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestContentDigestMatchesFileBytes(t *testing.T) {
+	g := randomGraph(7, 40, 100)
+	path := tmpPath(t)
+	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	got, err := f.ContentDigest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	if want := hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("digest %s, want %s", got, want)
+	}
+}
+
+func TestContentDigestCachedAndSharedByViews(t *testing.T) {
+	g := randomGraph(8, 30, 60)
+	path := tmpPath(t)
+	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	var stats Counters
+	f, err := Open(path, 0, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	first, err := f.ContentDigest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesAfterFirst := stats.Snapshot().BytesRead
+	if bytesAfterFirst == 0 {
+		t.Fatal("digest read no accounted bytes")
+	}
+
+	// A view shares the cache: no additional I/O, same sum.
+	view := f.WithCounters(stats.Scope())
+	again, err := view.ContentDigest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("view digest %s != %s", again, first)
+	}
+	if b := stats.Snapshot().BytesRead; b != bytesAfterFirst {
+		t.Fatalf("cached digest re-read the file: %d bytes then %d", bytesAfterFirst, b)
+	}
+	if s := stats.Snapshot(); s.Scans != 0 || s.PhysicalScans != 0 {
+		t.Fatalf("digest counted as a scan: %+v", s)
+	}
+}
+
+func TestContentDigestConcurrent(t *testing.T) {
+	g := randomGraph(9, 50, 150)
+	path := tmpPath(t)
+	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const n = 8
+	sums := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := f.ContentDigest(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sums[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if sums[i] != sums[0] {
+			t.Fatalf("digest %d = %s, digest 0 = %s", i, sums[i], sums[0])
+		}
+	}
+}
+
+func TestContentDigestCanceledNotCached(t *testing.T) {
+	g := randomGraph(10, 30, 60)
+	path := tmpPath(t)
+	if err := WriteGraph(path, g, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.ContentDigest(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled digest err = %v", err)
+	}
+	// The failure was not cached; a healthy ctx succeeds.
+	if _, err := f.ContentDigest(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentDigestDiffersAcrossContents(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{dir + "/a.adj", dir + "/b.adj"}
+	for i, seed := range []int64{1, 2} {
+		if err := WriteGraph(paths[i], randomGraph(seed, 20, 40), nil, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sums [2]string
+	for i, p := range paths {
+		f, err := Open(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[i], err = f.ContentDigest(context.Background())
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sums[0] == sums[1] {
+		t.Fatalf("distinct graphs share digest %s", sums[0])
+	}
+}

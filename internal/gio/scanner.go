@@ -39,6 +39,10 @@ type File struct {
 	// view of the file and guarded by its own mutex.
 	plan *planState
 
+	// dig is the content-digest cache (see ContentDigest), shared by every
+	// view of the file like the plan cache.
+	dig *digestState
+
 	// view marks a WithCounters view: Close then only stops the view's
 	// active scan, never the shared descriptor.
 	view bool
@@ -81,7 +85,7 @@ func Open(path string, blockSize int, stats *Counters) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &File{f: f, path: path, header: h, blockSize: blockSize, stats: stats, plan: &planState{}}, nil
+	return &File{f: f, path: path, header: h, blockSize: blockSize, stats: stats, plan: &planState{}, dig: &digestState{}}, nil
 }
 
 // WithCounters returns a view of the file that accounts its I/O into c

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is returned by admission when the solve slots and the wait
+// queue are both full; it maps to 429 at the API boundary.
+var errOverloaded = errors.New("server: solve capacity exhausted")
+
+// admission is the daemon's solve gate: at most maxActive solves run at
+// once, at most maxQueue more wait for a slot, and everything beyond that is
+// refused immediately. Cache hits never pass through here — only work that
+// will actually scan a file.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+	queued   atomic.Int32
+}
+
+func newAdmission(maxActive, maxQueue int) *admission {
+	return &admission{slots: make(chan struct{}, maxActive), maxQueue: maxQueue}
+}
+
+// acquire takes a solve slot, waiting in the bounded queue if none is free.
+// It returns errOverloaded when the queue is full, or ctx.Err() if the
+// caller's deadline expires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if int(a.queued.Add(1)) > a.maxQueue {
+		a.queued.Add(-1)
+		return errOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+func (a *admission) stats() SolveStats {
+	return SolveStats{
+		Active:   len(a.slots),
+		Queued:   int(a.queued.Load()),
+		MaxAct:   cap(a.slots),
+		MaxQueue: a.maxQueue,
+	}
+}

@@ -1,0 +1,231 @@
+package server
+
+import mis "repro"
+
+// Wire types of the misd REST API. Every field uses stable snake_case JSON
+// names: clients (misctl included) and the daemon agree on this file.
+
+// SolveRequest asks for an independent set on a registered graph.
+//
+// POST /v1/solve
+type SolveRequest struct {
+	// Graph is the registry name of the graph to solve.
+	Graph string `json:"graph"`
+	// Algorithm is one of greedy, baseline, one-k-swap, two-k-swap,
+	// dynamic-update, external-maximal, randomized.
+	Algorithm string `json:"algorithm"`
+	// MaxRounds caps swap rounds (0 = until convergence).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// EarlyStop stops swaps after a fixed number of rounds (0 = off).
+	EarlyStop int `json:"early_stop,omitempty"`
+	// Seed seeds the randomized algorithm.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS bounds this request (0 = the daemon's default). The daemon
+	// may cap it; expiry returns code "timeout".
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// BaselineOnSorted opts in to running the baseline on a degree-sorted
+	// file (see mis.BaselineOnSorted).
+	BaselineOnSorted bool `json:"baseline_on_sorted,omitempty"`
+	// Verify additionally checks independence and maximality of the result
+	// (one fused scan, memoized per cached result).
+	Verify bool `json:"verify,omitempty"`
+	// IncludeVertices returns the set members, not just the size.
+	IncludeVertices bool `json:"include_vertices,omitempty"`
+	// Async runs the solve as a background operation: the response is an
+	// OperationRef immediately, progress streams from the operation's event
+	// feed.
+	Async bool `json:"async,omitempty"`
+	// NoCache bypasses the result cache for this request (the result is
+	// still not cached).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// IOStats mirrors mis.IOStats with stable wire names.
+type IOStats struct {
+	Scans         int    `json:"scans"`
+	PhysicalScans int    `json:"physical_scans"`
+	CarriedScans  int    `json:"carried_scans"`
+	RecordsRead   uint64 `json:"records_read"`
+	BytesRead     uint64 `json:"bytes_read"`
+	BytesWritten  uint64 `json:"bytes_written"`
+}
+
+func ioStats(s mis.IOStats) IOStats {
+	return IOStats{
+		Scans:         s.Scans,
+		PhysicalScans: s.PhysicalScans,
+		CarriedScans:  s.CarriedScans,
+		RecordsRead:   s.RecordsRead,
+		BytesRead:     s.BytesRead,
+		BytesWritten:  s.BytesWritten,
+	}
+}
+
+// SolveResponse reports a solve result.
+type SolveResponse struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	// Digest is the content digest of the adjacency file the result was
+	// computed on — the graph identity the cache keys by.
+	Digest      string   `json:"digest"`
+	Size        int      `json:"size"`
+	Rounds      int      `json:"rounds"`
+	RoundGains  []int    `json:"round_gains,omitempty"`
+	MemoryBytes uint64   `json:"memory_bytes"`
+	IO          IOStats  `json:"io"`
+	Vertices    []uint32 `json:"vertices,omitempty"`
+	Verified    bool     `json:"verified,omitempty"`
+	// Cache is how the request was satisfied: "hit", "miss" or "shared"
+	// (deduplicated onto a concurrent identical solve).
+	Cache string `json:"cache"`
+	// ElapsedMS is the wall time of the underlying solve (not of this
+	// request: a cache hit reports the original solve's time).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// VerifyRequest checks a client-supplied vertex set against a graph.
+//
+// POST /v1/verify
+type VerifyRequest struct {
+	Graph string `json:"graph"`
+	// Vertices lists the members of the claimed independent set.
+	Vertices  []uint32 `json:"vertices"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// VerifyResponse reports the verdict. A set that fails verification is not
+// an HTTP error: OK is false and Reason says why.
+type VerifyResponse struct {
+	Graph  string `json:"graph"`
+	Digest string `json:"digest"`
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+	Cache  string `json:"cache"`
+}
+
+// ColorRequest runs the iterated-IS graph coloring.
+//
+// POST /v1/color
+type ColorRequest struct {
+	Graph string `json:"graph"`
+	// MaxColors caps the color classes (0 = unlimited).
+	MaxColors int   `json:"max_colors,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ColorResponse reports a coloring.
+type ColorResponse struct {
+	Graph      string `json:"graph"`
+	Digest     string `json:"digest"`
+	NumColors  int    `json:"num_colors"`
+	ClassSizes []int  `json:"class_sizes"`
+	Cache      string `json:"cache"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+}
+
+// BoundResponse reports the Algorithm 5 upper bound and Wei's lower bound.
+//
+// GET /v1/graphs/{name}/bound
+type BoundResponse struct {
+	Graph  string  `json:"graph"`
+	Digest string  `json:"digest"`
+	Upper  uint64  `json:"upper_bound"`
+	Wei    float64 `json:"wei_lower_bound"`
+	Cache  string  `json:"cache"`
+}
+
+// GraphInfo describes one registered graph.
+//
+// GET /v1/graphs, GET /v1/graphs/{name}
+type GraphInfo struct {
+	Name         string  `json:"name"`
+	Vertices     int     `json:"vertices"`
+	Edges        uint64  `json:"edges"`
+	AvgDegree    float64 `json:"avg_degree"`
+	DegreeSorted bool    `json:"degree_sorted"`
+	SizeBytes    int64   `json:"size_bytes"`
+	Digest       string  `json:"digest"`
+	// IO is the file's lifetime I/O accounting — scan counters included, so
+	// a client can observe that a cached solve performed no scan.
+	IO IOStats `json:"io"`
+	// Journal-backed graphs only: the journal's durability state. Solves
+	// scan the current base generation; compact to fold pending updates.
+	Journal *JournalInfo `json:"journal,omitempty"`
+}
+
+// JournalInfo is the journal-backed subset of GraphInfo.
+type JournalInfo struct {
+	Generation     uint64 `json:"generation"`
+	DeltaEdges     int    `json:"delta_edges"`
+	JournalEdges   uint64 `json:"journal_edges"`
+	DurableRecords uint64 `json:"durable_records"`
+	SetSize        int    `json:"set_size"`
+	Dirty          bool   `json:"dirty"`
+}
+
+// StatusResponse is the daemon's health and effectiveness snapshot.
+//
+// GET /v1/status
+type StatusResponse struct {
+	Graphs     []string   `json:"graphs"`
+	Cache      CacheStats `json:"cache"`
+	Solves     SolveStats `json:"solves"`
+	Operations OpsStats   `json:"operations"`
+	UptimeMS   int64      `json:"uptime_ms"`
+}
+
+// CacheStats mirrors cache.Stats on the wire.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Inflight  int    `json:"inflight"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Shared    uint64 `json:"shared"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// SolveStats reports admission-control occupancy.
+type SolveStats struct {
+	Active   int `json:"active"`
+	Queued   int `json:"queued"`
+	MaxAct   int `json:"max_active"`
+	MaxQueue int `json:"max_queue"`
+}
+
+// OpsStats summarizes background operations.
+type OpsStats struct {
+	Running  int `json:"running"`
+	Retained int `json:"retained"`
+}
+
+// OperationRef is the immediate response to an async request.
+type OperationRef struct {
+	Operation string `json:"operation"`
+}
+
+// OperationInfo describes one background operation.
+//
+// GET /v1/operations/{id}
+type OperationInfo struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm,omitempty"`
+	// Status is running, done, error or canceled.
+	Status string         `json:"status"`
+	Result *SolveResponse `json:"result,omitempty"`
+	Error  *APIError      `json:"error,omitempty"`
+}
+
+// Event is one entry of an operation's progress feed, delivered over SSE
+// from GET /v1/operations/{id}/events. Type is "round" (a completed swap
+// round), "progress" (scan heartbeat), "done" or "error".
+type Event struct {
+	Type    string    `json:"type"`
+	Round   int       `json:"round,omitempty"`
+	Gain    int       `json:"gain,omitempty"`
+	Size    int       `json:"size,omitempty"`
+	Records uint64    `json:"records,omitempty"`
+	Total   uint64    `json:"total,omitempty"`
+	Error   *APIError `json:"error,omitempty"`
+}

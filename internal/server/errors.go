@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	mis "repro"
+	"repro/internal/dynamic"
+	"repro/internal/gio"
+	"repro/internal/wal"
+)
+
+// Stable API error codes. Clients dispatch on these, never on message
+// strings: messages are for humans and may change, codes may not.
+const (
+	CodeNotFound        = "not_found"        // unknown graph or operation
+	CodeInvalidArgument = "invalid_argument" // malformed request
+	CodeNilArgument     = "nil_argument"     // nil where a value is required
+	CodeTimeout         = "timeout"          // request deadline exceeded
+	CodeCanceled        = "canceled"         // request canceled
+	CodeOverloaded      = "overloaded"       // solve capacity and queue full
+	CodeScanAborted     = "scan_aborted"     // a scan stopped mid-file
+	CodeBadGraph        = "bad_graph"        // malformed adjacency file
+	CodeJournalCorrupt  = "journal_corrupt"  // journal damage before the tail
+	CodeJournalPoisoned = "journal_poisoned" // journal rejected writes after an ambiguous flip
+	CodeVerifyFailed    = "verify_failed"    // result failed verification
+	CodeInternal        = "internal"         // everything else; details in the daemon log
+)
+
+// APIError is the wire form of every daemon failure: a stable code, a
+// human-oriented message, and optional structured detail. Internal error
+// types — gio scan errors, wal journal errors — are translated here and
+// never serialized verbatim: messages contain no absolute paths and no Go
+// type noise, because clients on the other side of a socket must not
+// depend on (or be shown) the daemon's filesystem layout.
+type APIError struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Detail  map[string]any `json:"detail,omitempty"`
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+type errorResponse struct {
+	Error *APIError `json:"error"`
+}
+
+// apiError classifies err into an HTTP status and a sanitized APIError.
+func apiError(err error) (int, *APIError) {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return statusFor(ae.Code), ae
+	}
+
+	var nilArg *mis.NilArgumentError
+	if errors.As(err, &nilArg) {
+		return http.StatusBadRequest, &APIError{
+			Code:    CodeNilArgument,
+			Message: fmt.Sprintf("%s: nil %s", nilArg.Method, nilArg.Arg),
+		}
+	}
+	if errors.Is(err, mis.ErrNilArgument) {
+		return http.StatusBadRequest, &APIError{Code: CodeNilArgument, Message: "nil argument"}
+	}
+	if errors.Is(err, errOverloaded) {
+		return http.StatusTooManyRequests, &APIError{
+			Code:    CodeOverloaded,
+			Message: "solve capacity exhausted and queue full; retry later",
+		}
+	}
+	if errors.Is(err, mis.ErrBaselineOnSorted) {
+		return http.StatusBadRequest, &APIError{
+			Code:    CodeInvalidArgument,
+			Message: "baseline requested on a degree-sorted graph; set baseline_on_sorted to opt in",
+		}
+	}
+
+	// Deadline and cancellation, with the scan position when a scan was cut
+	// (gio.ScanError unwraps to the ctx error, so check the cause first).
+	scanDetail := map[string]any(nil)
+	var se *gio.ScanError
+	if errors.As(err, &se) {
+		scanDetail = map[string]any{"records": se.Records, "total": se.Total}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, &APIError{
+			Code: CodeTimeout, Message: "request deadline exceeded", Detail: scanDetail,
+		}
+	}
+	if errors.Is(err, context.Canceled) {
+		return http.StatusRequestTimeout, &APIError{
+			Code: CodeCanceled, Message: "request canceled", Detail: scanDetail,
+		}
+	}
+
+	if errors.Is(err, gio.ErrBadFormat) {
+		return http.StatusInternalServerError, &APIError{
+			Code: CodeBadGraph, Message: "malformed adjacency file",
+		}
+	}
+	var ce *wal.CorruptError
+	if errors.As(err, &ce) {
+		return http.StatusInternalServerError, &APIError{
+			Code:    CodeJournalCorrupt,
+			Message: "journal record corrupt",
+			Detail:  map[string]any{"offset": ce.Offset, "reason": ce.Reason},
+		}
+	}
+	var ve *dynamic.ViolationError
+	if errors.As(err, &ve) {
+		return http.StatusConflict, &APIError{
+			Code:    CodeVerifyFailed,
+			Message: "independence violated",
+			Detail:  map[string]any{"u": ve.U, "v": ve.V},
+		}
+	}
+	if se != nil {
+		return http.StatusInternalServerError, &APIError{
+			Code: CodeScanAborted, Message: "scan aborted mid-file", Detail: scanDetail,
+		}
+	}
+
+	// Unknown internals stay inside: stable code, generic message. The
+	// daemon logs the real error next to the request.
+	return http.StatusInternalServerError, &APIError{Code: CodeInternal, Message: "internal error"}
+}
+
+func statusFor(code string) int {
+	switch code {
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeInvalidArgument, CodeNilArgument:
+		return http.StatusBadRequest
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return http.StatusRequestTimeout
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeVerifyFailed:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError serializes err as the standard error envelope and logs
+// unclassified internals server-side, where the path-laden detail belongs.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status, ae := apiError(err)
+	if ae.Code == CodeInternal {
+		s.logf("misd: %s %s: %v", r.Method, r.URL.Path, err)
+	}
+	writeJSON(w, status, errorResponse{Error: ae})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// notFound and invalid build typed request-level failures.
+func notFound(what, name string) *APIError {
+	return &APIError{Code: CodeNotFound, Message: fmt.Sprintf("unknown %s %q", what, name)}
+}
+
+func invalid(format string, args ...any) *APIError {
+	return &APIError{Code: CodeInvalidArgument, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// operation is one background solve: pollable status plus a buffered event
+// feed that SSE subscribers replay and then follow live. The events a
+// long solve emits (per-round, throttled per-scan heartbeats) ride the
+// existing OnRound/OnProgress solver hooks.
+type operation struct {
+	id        string
+	kind      string
+	graph     string
+	algorithm string
+	cancel    context.CancelFunc
+
+	mu     sync.Mutex
+	status string // running, done, error, canceled
+	events []Event
+	subs   map[chan Event]struct{}
+	result *SolveResponse
+	apiErr *APIError
+}
+
+const (
+	opRunning  = "running"
+	opDone     = "done"
+	opError    = "error"
+	opCanceled = "canceled"
+)
+
+// maxOpEvents bounds one operation's replay buffer; past it, progress
+// heartbeats are dropped from the buffer (round and terminal events are
+// always kept — they are bounded by the round count).
+const maxOpEvents = 4096
+
+// emit appends ev to the buffer and fans it out. A subscriber too slow to
+// drain its channel misses heartbeats rather than blocking the solve.
+func (o *operation) emit(ev Event) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.events) < maxOpEvents || ev.Type != "progress" {
+		o.events = append(o.events, ev)
+	}
+	for ch := range o.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finish records the terminal state and emits the terminal event.
+func (o *operation) finish(res *SolveResponse, apiErr *APIError, canceled bool) {
+	o.mu.Lock()
+	switch {
+	case canceled:
+		o.status = opCanceled
+	case apiErr != nil:
+		o.status = opError
+	default:
+		o.status = opDone
+	}
+	o.result, o.apiErr = res, apiErr
+	o.mu.Unlock()
+	if apiErr != nil {
+		o.emit(Event{Type: "error", Error: apiErr})
+	} else {
+		ev := Event{Type: "done"}
+		if res != nil {
+			ev.Size = res.Size
+		}
+		o.emit(ev)
+	}
+}
+
+// subscribe returns a channel that replays the buffered events and then
+// receives live ones, plus an unsubscribe func. The caller owns draining.
+func (o *operation) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 256)
+	o.mu.Lock()
+	replay := append([]Event(nil), o.events...)
+	o.subs[ch] = struct{}{}
+	o.mu.Unlock()
+	out := make(chan Event, 256)
+	done := make(chan struct{})
+	go func() {
+		defer close(out)
+		for _, ev := range replay {
+			select {
+			case out <- ev:
+			case <-done:
+				return
+			}
+			if ev.Type == "done" || ev.Type == "error" {
+				return
+			}
+		}
+		for {
+			select {
+			case ev := <-ch:
+				select {
+				case out <- ev:
+				case <-done:
+					return
+				}
+				if ev.Type == "done" || ev.Type == "error" {
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	unsub := func() {
+		once.Do(func() {
+			o.mu.Lock()
+			delete(o.subs, ch)
+			o.mu.Unlock()
+			close(done)
+		})
+	}
+	return out, unsub
+}
+
+func (o *operation) info() OperationInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return OperationInfo{
+		ID:        o.id,
+		Kind:      o.kind,
+		Graph:     o.graph,
+		Algorithm: o.algorithm,
+		Status:    o.status,
+		Result:    o.result,
+		Error:     o.apiErr,
+	}
+}
+
+// opStore retains the most recent background operations; completed ones
+// past the bound are dropped oldest-first (a running op is never dropped).
+type opStore struct {
+	mu    sync.Mutex
+	seq   uint64
+	ops   map[string]*operation
+	order []string
+	max   int
+}
+
+func newOpStore(max int) *opStore {
+	if max <= 0 {
+		max = 128
+	}
+	return &opStore{ops: make(map[string]*operation), max: max}
+}
+
+func (st *opStore) add(kind, graph, algorithm string, cancel context.CancelFunc) *operation {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	op := &operation{
+		id:        fmt.Sprintf("op-%d", st.seq),
+		kind:      kind,
+		graph:     graph,
+		algorithm: algorithm,
+		cancel:    cancel,
+		status:    opRunning,
+		subs:      make(map[chan Event]struct{}),
+	}
+	st.ops[op.id] = op
+	st.order = append(st.order, op.id)
+	for len(st.order) > st.max {
+		dropped := false
+		for i, id := range st.order {
+			o := st.ops[id]
+			o.mu.Lock()
+			running := o.status == opRunning
+			o.mu.Unlock()
+			if !running {
+				delete(st.ops, id)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break // everything retained is still running
+		}
+	}
+	return op
+}
+
+func (st *opStore) get(id string) (*operation, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	op, ok := st.ops[id]
+	return op, ok
+}
+
+func (st *opStore) list() []OperationInfo {
+	st.mu.Lock()
+	ids := append([]string(nil), st.order...)
+	st.mu.Unlock()
+	out := make([]OperationInfo, 0, len(ids))
+	for _, id := range ids {
+		if op, ok := st.get(id); ok {
+			out = append(out, op.info())
+		}
+	}
+	return out
+}
+
+func (st *opStore) stats() OpsStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := OpsStats{Retained: len(st.ops)}
+	for _, op := range st.ops {
+		op.mu.Lock()
+		if op.status == opRunning {
+			s.Running++
+		}
+		op.mu.Unlock()
+	}
+	return s
+}

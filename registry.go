@@ -1,0 +1,194 @@
+package mis
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of open graphs — the unit a long-running
+// daemon serves. Each entry is either a plain adjacency file or a journal
+// directory (a durable dynamic graph, see Journal); either way solvers run
+// against the entry's current *File via Acquire, which pins a journal
+// entry's base generation across concurrent compactions.
+//
+// Registry methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*RegistryEntry
+	names   []string // sorted
+	closed  bool
+}
+
+// RegistryEntry is one named graph of a Registry.
+type RegistryEntry struct {
+	name string
+	path string
+	f    *File    // plain adjacency file; nil for journal entries
+	j    *Journal // journal-backed dynamic graph; nil for plain files
+}
+
+// RegistryOption customizes OpenRegistry.
+type RegistryOption func(*registryConfig)
+
+type registryConfig struct {
+	workers int
+	mmap    bool
+}
+
+// RegistryWorkers sets the default scan parallelism of every opened graph
+// (see WithWorkers / JournalWorkers).
+func RegistryWorkers(n int) RegistryOption {
+	return func(c *registryConfig) { c.workers = n }
+}
+
+// RegistryMmap opens plain adjacency files through a memory mapping (see
+// WithMmap). Journal entries are unaffected: their base generations are
+// reopened by the compaction machinery.
+func RegistryMmap() RegistryOption {
+	return func(c *registryConfig) { c.mmap = true }
+}
+
+// OpenRegistry opens every named graph. A path naming a directory must be a
+// journal store (InitJournal layout) and is opened with OpenJournal —
+// recovery replays its unfolded segments — while any other path is opened as
+// a plain adjacency file. On any failure, everything already opened is
+// closed and the error names the offending entry. ctx bounds journal
+// recovery scans.
+func OpenRegistry(ctx context.Context, graphs map[string]string, opts ...RegistryOption) (*Registry, error) {
+	cfg := registryConfig{workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Registry{entries: make(map[string]*RegistryEntry, len(graphs))}
+	for name, path := range graphs {
+		if name == "" || strings.ContainsAny(name, "/\\") {
+			r.Close()
+			return nil, fmt.Errorf("mis: registry: invalid graph name %q", name)
+		}
+		e, err := openEntry(ctx, name, path, cfg)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("mis: registry graph %q: %w", name, err)
+		}
+		r.entries[name] = e
+		r.names = append(r.names, name)
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+func openEntry(ctx context.Context, name, path string, cfg registryConfig) (*RegistryEntry, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		j, err := OpenJournal(ctx, path, JournalWorkers(cfg.workers))
+		if err != nil {
+			return nil, err
+		}
+		return &RegistryEntry{name: name, path: path, j: j}, nil
+	}
+	oo := []OpenOption{WithWorkers(cfg.workers)}
+	if cfg.mmap {
+		oo = append(oo, WithMmap())
+	}
+	f, err := Open(path, oo...)
+	if err != nil {
+		return nil, err
+	}
+	return &RegistryEntry{name: name, path: path, f: f}, nil
+}
+
+// DiscoverGraphs scans dir non-recursively and returns a graphs map for
+// OpenRegistry: every *.adj file (named by its base name without the
+// extension) and every subdirectory holding a journal MANIFEST (named by
+// the directory name).
+func DiscoverGraphs(dir string) (map[string]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	graphs := make(map[string]string)
+	for _, de := range des {
+		p := filepath.Join(dir, de.Name())
+		if de.IsDir() {
+			if _, err := os.Stat(filepath.Join(p, "MANIFEST")); err == nil {
+				graphs[de.Name()] = p
+			}
+			continue
+		}
+		if strings.HasSuffix(de.Name(), ".adj") {
+			graphs[strings.TrimSuffix(de.Name(), ".adj")] = p
+		}
+	}
+	return graphs, nil
+}
+
+// Names returns the registered graph names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
+
+// Get returns the named entry, or false.
+func (r *Registry) Get(name string) (*RegistryEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Close closes every entry: plain files directly, journals via
+// Journal.Close (which commits pending records). The first error is
+// returned; closing continues regardless.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var first error
+	for _, e := range r.entries {
+		var err error
+		if e.j != nil {
+			err = e.j.Close()
+		} else if e.f != nil {
+			err = e.f.Close()
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Name returns the entry's registered name.
+func (e *RegistryEntry) Name() string { return e.name }
+
+// Path returns the path the entry was opened from.
+func (e *RegistryEntry) Path() string { return e.path }
+
+// Journal returns the entry's journal, or nil for a plain file. Solves on a
+// journal entry scan the current base generation — compact first to fold
+// pending updates into it.
+func (e *RegistryEntry) Journal() *Journal { return e.j }
+
+// Acquire returns the entry's current adjacency file pinned for use, with a
+// release that must be called when done (idempotent). For a plain file the
+// pin is free and release a no-op; for a journal entry the current base
+// generation is refcounted (see Journal.AcquireFile), so it stays readable
+// across any number of concurrent compactions until released.
+func (e *RegistryEntry) Acquire() (*File, func()) {
+	if e.j != nil {
+		return e.j.AcquireFile()
+	}
+	return e.f, func() {}
+}

@@ -1,0 +1,112 @@
+package mis_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	mis "repro"
+)
+
+func writeGraph(t *testing.T, path string, edges [][2]uint32, n int) {
+	t.Helper()
+	b := mis.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	if err := b.WriteFile(path, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRegistryFilesAndJournals(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	a := filepath.Join(dir, "a.adj")
+	writeGraph(t, a, [][2]uint32{{0, 1}, {1, 2}}, 4)
+
+	base := filepath.Join(dir, "base.adj")
+	writeGraph(t, base, [][2]uint32{{0, 1}}, 4)
+	jdir := filepath.Join(dir, "dyn")
+	if err := mis.InitJournal(jdir, base); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := mis.OpenRegistry(ctx, map[string]string{"a": a, "dyn": jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if names := r.Names(); len(names) != 2 || names[0] != "a" || names[1] != "dyn" {
+		t.Fatalf("names = %v", names)
+	}
+
+	ea, ok := r.Get("a")
+	if !ok || ea.Journal() != nil {
+		t.Fatalf("entry a: ok=%v journal=%v", ok, ea.Journal())
+	}
+	f, release := ea.Acquire()
+	defer release()
+	if f.NumVertices() != 4 {
+		t.Fatalf("a has %d vertices", f.NumVertices())
+	}
+
+	ed, ok := r.Get("dyn")
+	if !ok || ed.Journal() == nil {
+		t.Fatal("dyn should be journal-backed")
+	}
+	jf, jrelease := ed.Acquire()
+	defer jrelease()
+	if _, err := jf.ContentDigest(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("missing graph resolved")
+	}
+}
+
+func TestOpenRegistryErrorsCloseEverything(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.adj")
+	writeGraph(t, a, [][2]uint32{{0, 1}}, 3)
+
+	if _, err := mis.OpenRegistry(context.Background(), map[string]string{
+		"a": a, "b": filepath.Join(dir, "nope.adj"),
+	}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	if _, err := mis.OpenRegistry(context.Background(), map[string]string{"bad/name": a}); err == nil {
+		t.Fatal("slashed name accepted")
+	}
+	// A directory that is not a journal store is rejected, not treated as a
+	// file.
+	if _, err := mis.OpenRegistry(context.Background(), map[string]string{"d": dir}); err == nil {
+		t.Fatal("non-journal directory accepted")
+	}
+}
+
+func TestDiscoverGraphs(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "web.adj")
+	writeGraph(t, a, [][2]uint32{{0, 1}}, 3)
+	base := filepath.Join(dir, "b.adj")
+	writeGraph(t, base, [][2]uint32{{0, 1}}, 3)
+	jdir := filepath.Join(dir, "social")
+	if err := mis.InitJournal(jdir, base); err != nil {
+		t.Fatal(err)
+	}
+
+	graphs, err := mis.DiscoverGraphs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs["web"] != a || graphs["social"] != jdir || graphs["b"] != base {
+		t.Fatalf("graphs = %v", graphs)
+	}
+	if len(graphs) != 3 {
+		t.Fatalf("discovered %d graphs: %v", len(graphs), graphs)
+	}
+}

@@ -170,7 +170,7 @@ func (s *Solver) Greedy(ctx context.Context) (*Result, error) {
 // OneKSwap runs Algorithm 2 starting from the given independent set.
 func (s *Solver) OneKSwap(ctx context.Context, initial *Result) (*Result, error) {
 	if initial == nil {
-		return nil, fmt.Errorf("mis: one-k-swap: nil initial set")
+		return nil, nilArg("OneKSwap", "initial set")
 	}
 	r, err := core.OneKSwapCtx(ctx, s.source(), initial.InSet, s.cfg.swap.internal(), s.hooks())
 	if err != nil {
@@ -182,7 +182,7 @@ func (s *Solver) OneKSwap(ctx context.Context, initial *Result) (*Result, error)
 // TwoKSwap runs Algorithms 3–4 starting from the given independent set.
 func (s *Solver) TwoKSwap(ctx context.Context, initial *Result) (*Result, error) {
 	if initial == nil {
-		return nil, fmt.Errorf("mis: two-k-swap: nil initial set")
+		return nil, nilArg("TwoKSwap", "initial set")
 	}
 	r, err := core.TwoKSwapCtx(ctx, s.source(), initial.InSet, s.cfg.swap.internal(), s.hooks())
 	if err != nil {
@@ -239,19 +239,29 @@ func (s *Solver) WeiBound(ctx context.Context) (float64, error) {
 }
 
 // Verify checks independence and maximality together in one fused physical
-// scan (see File.Verify).
+// scan (see File.Verify). A nil result is rejected with a typed error
+// wrapping ErrNilArgument.
 func (s *Solver) Verify(ctx context.Context, r *Result) error {
+	if r == nil {
+		return nilArg("Verify", "result")
+	}
 	return core.VerifyBothCtx(ctx, s.source(), r.InSet, s.hooks())
 }
 
 // VerifyIndependent checks that no edge has both endpoints in the result.
 func (s *Solver) VerifyIndependent(ctx context.Context, r *Result) error {
+	if r == nil {
+		return nilArg("VerifyIndependent", "result")
+	}
 	return core.VerifyIndependentCtx(ctx, s.source(), r.InSet, s.hooks())
 }
 
 // VerifyMaximal checks that every vertex outside the result has a neighbor
 // inside it.
 func (s *Solver) VerifyMaximal(ctx context.Context, r *Result) error {
+	if r == nil {
+		return nilArg("VerifyMaximal", "result")
+	}
 	return core.VerifyMaximalCtx(ctx, s.source(), r.InSet, s.hooks())
 }
 
@@ -276,8 +286,12 @@ func (s *Solver) ColorByIS(ctx context.Context, maxColors int) (*Coloring, error
 	}, nil
 }
 
-// VerifyColoring checks that the coloring is proper and complete.
+// VerifyColoring checks that the coloring is proper and complete. A nil
+// coloring is rejected with a typed error wrapping ErrNilArgument.
 func (s *Solver) VerifyColoring(ctx context.Context, col *Coloring) error {
+	if col == nil {
+		return nilArg("VerifyColoring", "coloring")
+	}
 	return core.VerifyColoringCtx(ctx, s.source(), &core.Coloring{
 		Colors:     col.Colors,
 		NumColors:  col.NumColors,
