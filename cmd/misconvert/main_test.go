@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gio"
 	"repro/internal/plrg"
+	"repro/internal/shard"
 )
 
 func TestImportSortExportRoundTrip(t *testing.T) {
@@ -72,5 +73,41 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if code := run([]string{"-import", "/missing.txt", "-o", filepath.Join(t.TempDir(), "o.adj")}, &stdout, &stderr); code != 1 {
 		t.Fatalf("missing input: exit %d", code)
+	}
+}
+
+func TestShardedConvert(t *testing.T) {
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(edges, []byte("0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := filepath.Join(dir, "sharded")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-import", edges, "-shards", "3", "-o", shardDir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("sharded import exit %d: %s", code, stderr.String())
+	}
+	man, _, err := shard.LoadManifest(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(man.Shards))
+	}
+	if man.Vertices != 6 || man.Edges != 6 {
+		t.Fatalf("manifest records %d vertices, %d edges; want 6, 6", man.Vertices, man.Edges)
+	}
+	// The temp conversion file must be gone, leaving only shards + manifest.
+	if _, err := os.Stat(filepath.Join(shardDir, ".convert.tmp.adj")); !os.IsNotExist(err) {
+		t.Fatalf("temp conversion file left behind: %v", err)
+	}
+
+	// Invalid combinations.
+	if code := run([]string{"-export", "a", "-shards", "2", "-o", "y"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-export with -shards: exit %d", code)
+	}
+	if code := run([]string{"-import", "a", "-shards", "-1", "-o", "y"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("negative -shards: exit %d", code)
 	}
 }

@@ -8,6 +8,11 @@
 //	missolve -alg randomized -seed 7 graph.adj
 //	missolve -timeout 30s -alg two-k-swap huge.adj
 //	missolve -color graph.adj
+//	missolve -alg greedy sharded/          # sharded graph (MANIFEST.shards)
+//
+// The graph argument may be a single adjacency file, a shard manifest file,
+// or a directory containing MANIFEST.shards (see missplit); sharded graphs
+// solve identically, scanning shards in parallel when -workers > 1.
 //
 // Algorithms: greedy, baseline, one-k-swap, two-k-swap, dynamic-update,
 // external-maximal, randomized. Swap algorithms are seeded with a Greedy
@@ -75,7 +80,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *mmap {
 		oopts = append(oopts, mis.WithMmap())
 	}
-	f, err := mis.Open(fs.Arg(0), oopts...)
+	f, err := mis.OpenGraph(fs.Arg(0), oopts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "missolve: %v\n", err)
 		return 1

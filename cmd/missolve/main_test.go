@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gio"
 	"repro/internal/plrg"
+	"repro/internal/shard"
 )
 
 func testGraph(t *testing.T) string {
@@ -117,5 +118,41 @@ func TestSigintCancellation(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "partial stats") {
 		t.Fatalf("no partial stats on cancellation:\n%s", stdout.String())
+	}
+}
+
+func TestSolveSharded(t *testing.T) {
+	src := testGraph(t)
+	shardDir := filepath.Join(t.TempDir(), "sharded")
+	if _, err := shard.SplitFile(context.Background(), src, shardDir, shard.SplitOptions{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	solve := func(path string, extra ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		args := append(extra, "-alg", "two-k-swap", "-verify", path)
+		if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+			t.Fatalf("%v: exit %d, stderr %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	single := solve(src)
+	sharded := solve(shardDir, "-workers", "3")
+	pick := func(out string) string {
+		t.Helper()
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "|IS| =") {
+				return line[:strings.Index(line, "time =")]
+			}
+		}
+		t.Fatalf("no result line in:\n%s", out)
+		return ""
+	}
+	if pick(single) != pick(sharded) {
+		t.Fatalf("sharded solve diverged:\nsingle:  %s\nsharded: %s", pick(single), pick(sharded))
+	}
+	if !strings.Contains(sharded, "verified: independent and maximal") {
+		t.Fatalf("sharded solve not verified:\n%s", sharded)
 	}
 }

@@ -8,6 +8,11 @@
 //	misstat -workers 4 big.adj     # parallel partitioned histogram scan
 //	misstat -rounds graph.adj      # per-round swap scan breakdown
 //	misstat -timeout 10s big.adj   # bound the scan time
+//	misstat sharded/               # sharded graph (dir with MANIFEST.shards)
+//
+// Arguments may be single adjacency files, shard manifest files, or
+// directories containing a MANIFEST.shards; sharded graphs are scanned
+// through the per-shard merge engine at the same -workers setting.
 //
 // Scans are interruptible: -timeout bounds the run and SIGINT/SIGTERM
 // cancel it gracefully within one decoded batch.
@@ -27,6 +32,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gio"
 	"repro/internal/pipeline"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -66,22 +72,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 func report(ctx context.Context, w io.Writer, path string, workers int, rounds bool) error {
 	var stats gio.Counters
-	f, err := gio.Open(path, 0, &stats)
-	if err != nil {
-		return err
+
+	// A shard manifest (or a directory holding one) opens through the shard
+	// layer; its merge engine is the scan source. A plain file opens as before
+	// with the partitioned executor on top.
+	var (
+		src          core.Source
+		n            int
+		edges        uint64
+		size         int64
+		degreeSorted bool
+	)
+	if shard.IsManifestPath(path) {
+		set, err := shard.Open(path, shard.Options{})
+		if err != nil {
+			return err
+		}
+		defer set.Close()
+		src = set.Source(&stats, workers)
+		n, edges, size = set.NumVertices(), set.NumEdges(), set.TotalBytes()
+		degreeSorted = set.DegreeSorted()
+	} else {
+		f, err := gio.Open(path, 0, &stats)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sz, err := f.SizeBytes()
+		if err != nil {
+			return err
+		}
+		src = exec.New(f, workers)
+		n, edges, size = f.NumVertices(), f.NumEdges(), sz
+		degreeSorted = f.Header().DegreeSorted()
 	}
-	defer f.Close()
-	size, err := f.SizeBytes()
-	if err != nil {
-		return err
-	}
-	n := f.NumVertices()
 	avg := 0.0
 	if n > 0 {
-		avg = 2 * float64(f.NumEdges()) / float64(n)
+		avg = 2 * float64(edges) / float64(n)
 	}
 	fmt.Fprintf(w, "%-28s %12d %14d %10.2f %12s %8v\n",
-		path, n, f.NumEdges(), avg, gio.FormatBytes(uint64(size)), f.Header().DegreeSorted())
+		path, n, edges, avg, gio.FormatBytes(uint64(size)), degreeSorted)
 
 	// Degree histogram summary: the five most populous degrees, collected
 	// by one logical pass on the scan scheduler over the parallel
@@ -90,7 +120,7 @@ func report(ctx context.Context, w io.Writer, path string, workers int, rounds b
 	// so -workers never pays a dedicated planning pass for this one-shot
 	// workload.
 	hist := map[int]uint64{}
-	sched := pipeline.New(exec.New(f, workers), pipeline.Options{Ctx: ctx})
+	sched := pipeline.New(src, pipeline.Options{Ctx: ctx})
 	sched.Add(pipeline.Pass{
 		Name:     "degree-histogram",
 		ReadOnly: true,
@@ -132,7 +162,7 @@ func report(ctx context.Context, w io.Writer, path string, workers int, rounds b
 	fmt.Fprintf(w, "  io: scans=%d physical=%d records=%d\n",
 		snap.Scans, snap.PhysicalScans, snap.RecordsRead)
 	if rounds {
-		return reportRounds(ctx, w, f, workers)
+		return reportRounds(ctx, w, src)
 	}
 	return nil
 }
@@ -142,8 +172,7 @@ func report(ctx context.Context, w io.Writer, path string, workers int, rounds b
 // a steady-state round shows exactly one physical scan, its pre-swap (and,
 // for two-k-swap, swap-validation) work appearing as carried logical scans
 // that rode the previous round's pass.
-func reportRounds(ctx context.Context, w io.Writer, f *gio.File, workers int) error {
-	src := exec.New(f, workers)
+func reportRounds(ctx context.Context, w io.Writer, src core.Source) error {
 	seed, err := core.GreedyCtx(ctx, src, core.Hooks{})
 	if err != nil {
 		return err

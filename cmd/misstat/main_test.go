@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gio"
 	"repro/internal/plrg"
+	"repro/internal/shard"
 )
 
 func TestStatOutput(t *testing.T) {
@@ -40,5 +41,40 @@ func TestStatErrors(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"/missing.adj"}, &stdout, &stderr); code != 1 {
 		t.Fatalf("missing file: exit %d", code)
+	}
+}
+
+func TestStatSharded(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "g.adj")
+	if err := gio.WriteGraph(src, plrg.PowerLawN(120, 2.0, 5), nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "sharded")
+	if _, err := shard.SplitFile(context.Background(), src, shardDir, shard.SplitOptions{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sharded report must match the single-file report line for line
+	// except for the path column and disk size (shards carry extra headers).
+	var single, sharded, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-rounds", src}, &single, &stderr); code != 0 {
+		t.Fatalf("single exit %d: %s", code, stderr.String())
+	}
+	if code := run(context.Background(), []string{"-rounds", "-workers", "3", shardDir}, &sharded, &stderr); code != 0 {
+		t.Fatalf("sharded exit %d: %s", code, stderr.String())
+	}
+	a := strings.Split(single.String(), "\n")
+	b := strings.Split(sharded.String(), "\n")
+	if len(a) != len(b) {
+		t.Fatalf("line counts differ: %d vs %d\nsingle:\n%s\nsharded:\n%s", len(a), len(b), single.String(), sharded.String())
+	}
+	for i := range a {
+		if strings.Contains(a[i], src) {
+			continue // header row: path and size columns differ by design
+		}
+		if a[i] != b[i] {
+			t.Fatalf("line %d differs:\nsingle:  %q\nsharded: %q", i, a[i], b[i])
+		}
 	}
 }

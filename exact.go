@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gio"
+	"repro/internal/graph"
 )
 
 // MaxExactVertices is the largest graph Exact accepts (the solver packs the
@@ -21,7 +22,13 @@ func Exact(f *File) (*Result, error) {
 		return nil, fmt.Errorf("mis: exact solver supports ≤ %d vertices, got %d",
 			MaxExactVertices, f.NumVertices())
 	}
-	g, err := gio.LoadGraph(f.inner.Path(), f.stats.Scope())
+	var g *graph.Graph
+	var err error
+	if f.shards != nil {
+		g, err = gio.LoadGraphSource(f.runSource(1))
+	} else {
+		g, err = gio.LoadGraph(f.inner.Path(), f.stats.Scope())
+	}
 	if err != nil {
 		return nil, err
 	}

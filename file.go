@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gio"
+	"repro/internal/shard"
 )
 
 // File is an open adjacency file: the on-disk graph the semi-external
@@ -19,7 +20,8 @@ import (
 // of solvers — or the context-free convenience methods below — may run
 // against one File from different goroutines.
 type File struct {
-	inner   *gio.File
+	inner   *gio.File  // single adjacency file; nil when sharded
+	shards  *shard.Set // shard set (see OpenSharded); nil for single files
 	stats   gio.Counters
 	workers atomic.Int32
 }
@@ -88,8 +90,14 @@ func Open(path string, opts ...OpenOption) (*File, error) {
 
 // MmapActive reports whether scans of this file run off a live memory
 // mapping (see WithMmap): false when the file was opened without the option,
-// after the mmap fallback, or once the file is closed.
-func (f *File) MmapActive() bool { return f.inner.MmapActive() }
+// after the mmap fallback, or once the file is closed. A sharded graph
+// reports true only when every shard is mapped.
+func (f *File) MmapActive() bool {
+	if f.shards != nil {
+		return f.shards.MmapActive()
+	}
+	return f.inner.MmapActive()
+}
 
 // SetWorkers changes the file's default scan parallelism (see WithWorkers).
 func (f *File) SetWorkers(n int) { f.workers.Store(int32(n)) }
@@ -108,6 +116,9 @@ func (f *File) runSource(workers int) core.Source {
 	if workers == 0 {
 		workers = f.Workers()
 	}
+	if f.shards != nil {
+		return f.shards.Source(f.stats.Scope(), workers)
+	}
 	view := f.inner.WithCounters(f.stats.Scope())
 	if workers == 1 {
 		return view
@@ -116,16 +127,37 @@ func (f *File) runSource(workers int) core.Source {
 }
 
 // Close closes the file.
-func (f *File) Close() error { return f.inner.Close() }
+func (f *File) Close() error {
+	if f.shards != nil {
+		return f.shards.Close()
+	}
+	return f.inner.Close()
+}
 
-// Path returns the file's path.
-func (f *File) Path() string { return f.inner.Path() }
+// Path returns the file's path — the manifest file's path for a sharded
+// graph.
+func (f *File) Path() string {
+	if f.shards != nil {
+		return f.shards.Path()
+	}
+	return f.inner.Path()
+}
 
 // NumVertices returns the number of vertices.
-func (f *File) NumVertices() int { return f.inner.NumVertices() }
+func (f *File) NumVertices() int {
+	if f.shards != nil {
+		return f.shards.NumVertices()
+	}
+	return f.inner.NumVertices()
+}
 
 // NumEdges returns the number of undirected edges.
-func (f *File) NumEdges() uint64 { return f.inner.NumEdges() }
+func (f *File) NumEdges() uint64 {
+	if f.shards != nil {
+		return f.shards.NumEdges()
+	}
+	return f.inner.NumEdges()
+}
 
 // AvgDegree returns the average degree.
 func (f *File) AvgDegree() float64 {
@@ -138,10 +170,21 @@ func (f *File) AvgDegree() float64 {
 
 // DegreeSorted reports whether the file's records are in ascending-degree
 // scan order (the Greedy preprocessing).
-func (f *File) DegreeSorted() bool { return f.inner.Header().DegreeSorted() }
+func (f *File) DegreeSorted() bool {
+	if f.shards != nil {
+		return f.shards.DegreeSorted()
+	}
+	return f.inner.Header().DegreeSorted()
+}
 
-// SizeBytes returns the on-disk size.
-func (f *File) SizeBytes() (int64, error) { return f.inner.SizeBytes() }
+// SizeBytes returns the on-disk size — for a sharded graph, the summed size
+// of the shard files.
+func (f *File) SizeBytes() (int64, error) {
+	if f.shards != nil {
+		return f.shards.TotalBytes(), nil
+	}
+	return f.inner.SizeBytes()
+}
 
 // ContentDigest returns the SHA-256 of the file's on-disk contents as
 // lowercase hex — the cache key component that names exactly this graph.
@@ -150,8 +193,13 @@ func (f *File) SizeBytes() (int64, error) { return f.inner.SizeBytes() }
 // open file; reopening the path — or a journal compaction flipping to a new
 // base generation, which opens a fresh file — starts from an empty cache,
 // so a digest never outlives the bytes it names. ctx cancels the
-// computation between blocks; failures are not cached.
+// computation between blocks; failures are not cached. For a sharded graph
+// this is the combined digest over the ordered per-shard content digests —
+// the same cache-key role, derived from every shard's exact bytes.
 func (f *File) ContentDigest(ctx context.Context) (string, error) {
+	if f.shards != nil {
+		return f.shards.CombinedDigest(ctx)
+	}
 	return f.inner.ContentDigest(ctx)
 }
 

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -143,6 +145,42 @@ func TestParScanOverwriteGuard(t *testing.T) {
 		err := parScanOverwriteGuard(tc.out, tc.numCPU, tc.force)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestParScanBenchShardRows: the sweep records shard-mode measurements next
+// to the single-file formats, and the speedup map covers all three modes.
+func TestParScanBenchShardRows(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_parscan.json")
+	cfg := &Config{
+		WorkDir:         dir,
+		SweepVertices:   400,
+		ParScanBenchOut: out,
+		Out:             io.Discard,
+	}
+	if err := ParScanBench(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ParScanBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range report.Results {
+		counts[r.Format]++
+	}
+	for _, format := range []string{"raw", "compressed", "sharded"} {
+		if counts[format] != len(parScanWorkers) {
+			t.Errorf("%s: %d rows, want %d", format, counts[format], len(parScanWorkers))
+		}
+		if report.Speedup[format] <= 0 {
+			t.Errorf("%s: speedup %v not recorded", format, report.Speedup[format])
 		}
 	}
 }

@@ -18,6 +18,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -28,14 +29,18 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gio"
 	"repro/internal/plrg"
+	"repro/internal/shard"
 )
 
 // parScanWorkers is the sweep; 1 is the single-stream baseline.
 var parScanWorkers = []int{1, 2, 4, 7}
 
-// ParScanBenchResult is one (file format, worker count) measurement.
+// parScanShards is the shard count of the sharded sweep mode.
+const parScanShards = 4
+
+// ParScanBenchResult is one (scan mode, worker count) measurement.
 type ParScanBenchResult struct {
-	Format  string  `json:"format"`  // "raw" or "compressed"
+	Format  string  `json:"format"`  // "raw", "compressed" or "sharded"
 	Workers int     `json:"workers"` // 1 = single-stream engine
 	Bytes   int64   `json:"bytes"`   // payload scanned per pass
 	NsPerOp int64   `json:"ns_per_op"`
@@ -97,6 +102,30 @@ func ParScanBench(cfg *Config) error {
 		{"compressed", compPath},
 	}
 	best := map[string]float64{} // format/workers → MB/s
+	measure := func(format string, payload int64, workers int, src parScanSource) error {
+		var bestNs int64
+		for t := 0; t < trials; t++ {
+			ns, err := timeParScan(src, format)
+			if err != nil {
+				return err
+			}
+			if bestNs == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		mbps := float64(payload) / (float64(bestNs) / 1e9) / 1e6
+		best[fmt.Sprintf("%s/%d", format, workers)] = mbps
+		report.Results = append(report.Results, ParScanBenchResult{
+			Format:  format,
+			Workers: workers,
+			Bytes:   payload,
+			NsPerOp: bestNs,
+			MBPerS:  mbps,
+		})
+		cfg.printf("%-11s workers=%d %8.1f MB/s\n", format, workers, mbps)
+		return nil
+	}
+	var rawPayload int64
 	for _, fl := range files {
 		f, err := gio.Open(fl.path, 0, nil)
 		if err != nil {
@@ -108,39 +137,48 @@ func ParScanBench(cfg *Config) error {
 			return err
 		}
 		payload := size - gio.HeaderSize
-		// Warm the partition plan outside the timed region.
+		if fl.format == "raw" {
+			rawPayload = payload
+		}
+		// Warm the partition plan outside the timed region. (Footered files
+		// and shard sets come with the plan pre-loaded; this is a no-op for
+		// them.)
 		if _, err := f.Partitions(2); err != nil {
 			f.Close()
 			return err
 		}
 		for _, workers := range parScanWorkers {
-			ex := exec.New(f, workers)
-			var bestNs int64
-			for t := 0; t < trials; t++ {
-				ns, err := timeParScan(ex)
-				if err != nil {
-					f.Close()
-					return err
-				}
-				if bestNs == 0 || ns < bestNs {
-					bestNs = ns
-				}
+			if err := measure(fl.format, payload, workers, exec.New(f, workers)); err != nil {
+				f.Close()
+				return err
 			}
-			mbps := float64(payload) / (float64(bestNs) / 1e9) / 1e6
-			best[fmt.Sprintf("%s/%d", fl.format, workers)] = mbps
-			report.Results = append(report.Results, ParScanBenchResult{
-				Format:  fl.format,
-				Workers: workers,
-				Bytes:   payload,
-				NsPerOp: bestNs,
-				MBPerS:  mbps,
-			})
-			cfg.printf("%-11s workers=%d %8.1f MB/s\n", fl.format, workers, mbps)
 		}
 		f.Close()
 	}
-	for _, fl := range files {
-		report.Speedup[fl.format] = best[fl.format+"/4"] / best[fl.format+"/1"]
+
+	// Shard mode: the raw graph split into vertex-range shards, scanned
+	// through the shard merge engine. Payload is the single raw file's — the
+	// same records are decoded — so MB/s stays comparable with the raw rows.
+	shardDir := filepath.Join(cfg.WorkDir, fmt.Sprintf("scanbench-shards-n%d", n))
+	if !shard.IsManifestPath(shardDir) {
+		if _, err := shard.SplitFile(context.Background(), rawPath, shardDir, shard.SplitOptions{Shards: parScanShards}); err != nil {
+			return err
+		}
+	}
+	set, err := shard.Open(shardDir, shard.Options{})
+	if err != nil {
+		return err
+	}
+	for _, workers := range parScanWorkers {
+		if err := measure("sharded", rawPayload, workers, set.Source(nil, workers)); err != nil {
+			set.Close()
+			return err
+		}
+	}
+	set.Close()
+
+	for _, format := range []string{"raw", "compressed", "sharded"} {
+		report.Speedup[format] = best[format+"/4"] / best[format+"/1"]
 	}
 	if report.NumCPU < 4 {
 		report.Note = fmt.Sprintf("measured on a %d-CPU host: the sweep can only show "+
@@ -191,11 +229,18 @@ func parScanOverwriteGuard(out string, numCPU int, force bool) error {
 	return nil
 }
 
-// timeParScan measures one full executor scan folding IDs and degrees.
-func timeParScan(ex *exec.Executor) (int64, error) {
+// parScanSource is the slice of the scan interface the sweep times: the
+// single-file executor and the shard merge engine both satisfy it.
+type parScanSource interface {
+	NumVertices() int
+	ForEachBatch(fn func([]gio.Record) error) error
+}
+
+// timeParScan measures one full scan folding IDs and degrees.
+func timeParScan(src parScanSource, name string) (int64, error) {
 	var sink uint64
 	start := time.Now()
-	err := ex.ForEachBatch(func(batch []gio.Record) error {
+	err := src.ForEachBatch(func(batch []gio.Record) error {
 		for _, r := range batch {
 			sink += uint64(r.ID) + uint64(len(r.Neighbors))
 		}
@@ -205,8 +250,8 @@ func timeParScan(ex *exec.Executor) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if sink == 0 && ex.NumVertices() > 0 {
-		return 0, fmt.Errorf("bench: parallel scan of %s decoded nothing", ex.File().Path())
+	if sink == 0 && src.NumVertices() > 0 {
+		return 0, fmt.Errorf("bench: parallel %s scan decoded nothing", name)
 	}
 	return elapsed, nil
 }

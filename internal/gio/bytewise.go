@@ -67,7 +67,7 @@ func (s *bytewiseScanner) next() bool {
 	if s.err != nil || s.done {
 		return false
 	}
-	if s.read == s.file.header.Vertices {
+	if s.read == s.file.records {
 		s.done = true
 		if s.file.stats != nil {
 			s.file.stats.AddScans(1)

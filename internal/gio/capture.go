@@ -62,23 +62,23 @@ func (g *File) ForEachBatchWithPlanCaptureCtx(ctx context.Context, fn func([]Rec
 // installCapturedPlan validates a captured cut table against the file and
 // caches it. Without a scanner position to cross-check (the capture rides an
 // arbitrary consumer's scan), validation compares the computed end offset to
-// the on-disk payload end. That check is exact, not merely aggregate:
-// encodedSize recomputes minimal encodings, so a computed record size can
-// only undershoot its on-disk length, drift is monotone non-decreasing along
-// the scan, and a matching total therefore implies every interior cut point
-// is correct. Trailing bytes after the last record fail the check; the
-// capture is then abandoned for the file's lifetime and planning falls back
-// to Partitions' self-checking side scan. When concurrent views both capture
+// the file's payload end (the footer start on footered files, the file size
+// otherwise). That check is exact, not merely aggregate: encodedSize
+// recomputes minimal encodings, so a computed record size can only
+// undershoot its on-disk length, drift is monotone non-decreasing along the
+// scan, and a matching total therefore implies every interior cut point is
+// correct. Trailing bytes after the last record fail the check; the capture
+// is then abandoned for the file's lifetime and planning falls back to
+// Partitions' self-checking side scan. When concurrent views both capture
 // (each completed a full scan before either installed), the first install
 // wins; the captures are identical by construction.
 func (g *File) installCapturedPlan(cb *cutBuilder) {
-	size, err := g.SizeBytes()
 	g.plan.mu.Lock()
 	defer g.plan.mu.Unlock()
 	if g.plan.cuts != nil || g.plan.cutsErr != nil || g.plan.captureFailed {
 		return
 	}
-	if err != nil || cb.read != g.header.Vertices || cb.off != size {
+	if cb.read != g.records || cb.off != g.payloadEnd {
 		g.plan.captureFailed = true
 		return
 	}

@@ -54,6 +54,7 @@ func (w *Writer) appendCompressed(id uint32, neighbors []uint32) error {
 	}
 	w.records++
 	w.degSum += uint64(len(sorted))
+	w.observeCut(int64(len(buf)))
 	return nil
 }
 

@@ -116,6 +116,7 @@ func TestCompressedTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	data = stripFooter(t, data) // truncate record bytes, not footer bytes
 	trunc := filepath.Join(t.TempDir(), "t.adj")
 	if err := os.WriteFile(trunc, data[:len(data)-3], 0o644); err != nil {
 		t.Fatal(err)

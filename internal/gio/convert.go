@@ -119,6 +119,25 @@ type BatchSource interface {
 	ForEachBatch(fn func([]Record) error) error
 }
 
+// LoadGraphSource loads a whole graph into memory from one scan of any
+// source — the LoadGraph path for graphs that are not a single file, such as
+// shard sets.
+func LoadGraphSource(src BatchSource) (*graph.Graph, error) {
+	b := graph.NewBuilder(src.NumVertices())
+	err := src.ForEachBatch(func(batch []Record) error {
+		for _, r := range batch {
+			for _, n := range r.Neighbors {
+				b.AddEdge(r.ID, n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
 // ReadDegrees scans the file once and returns the degree of every vertex,
 // indexed by vertex ID. This is an O(|V|) in-memory structure allowed by the
 // semi-external model.

@@ -1,0 +1,198 @@
+package gio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Footer: the partition cut table persisted at write time, so a cold Open
+// never pays a planning scan (Partitions answers from the footer, the
+// opportunistic capture never needs to run). The footer sits after the last
+// record and is invisible to scans: decoding stops at the record count, so a
+// footer-aware reader never feeds footer bytes to the decoder, and a
+// pre-footer reader of an ordinary file stops at header.Vertices records —
+// exactly the payload end — and never reads them either.
+//
+// Layout (all integers little-endian), appended after the final record:
+//
+//	footer block:
+//	  magic    8 bytes  "MISFTB1\n"
+//	  version  uint8    currently 1
+//	  reserved 3 bytes  zero
+//	  records  uint64   records actually present in the payload
+//	  cuts     uint32   cut-table entries
+//	  entries  cuts × (recs uint64, offs uint64)
+//	trailer (fixed 24 bytes, always the last bytes of the file):
+//	  length   uint64   byte length of the footer block
+//	  crc      uint32   CRC-32C of the footer block
+//	  version  uint8    currently 1 (repeated so it is visible at fixed offset)
+//	  reserved 3 bytes  zero
+//	  magic    8 bytes  "MISFTR1\n"
+//
+// The records field makes the record count independent of header.Vertices,
+// which is what shard files exploit: a shard keeps the global vertex count in
+// its header (so ID and degree validation still work on global IDs) while the
+// footer records how many records this one file actually holds.
+//
+// Fallback is graceful and total: any structural mismatch — short file, bad
+// trailer magic, unknown version, CRC failure, an inconsistent cut table —
+// makes Open treat the file as footerless (records = header.Vertices,
+// payload = whole file), which is exactly the pre-footer format.
+
+const (
+	footerBlockMagic   = "MISFTB1\n"
+	footerTrailerMagic = "MISFTR1\n"
+	footerVersion      = 1
+	footerTrailerSize  = 24
+	footerFixedSize    = 8 + 4 + 8 + 4 // magic, version+reserved, records, cut count
+)
+
+// crcTable is the CRC-32C (Castagnoli) table shared with the WAL's framing.
+var footerCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFooter appends the footer block plus trailer for a payload of
+// records records with cut table ct.
+func appendFooter(dst []byte, records uint64, ct *cutTable) []byte {
+	start := len(dst)
+	dst = append(dst, footerBlockMagic...)
+	dst = append(dst, footerVersion, 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, records)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ct.recs)))
+	for i := range ct.recs {
+		dst = binary.LittleEndian.AppendUint64(dst, ct.recs[i])
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(ct.offs[i]))
+	}
+	block := dst[start:]
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(block)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(block, footerCRCTable))
+	dst = append(dst, footerVersion, 0, 0, 0)
+	dst = append(dst, footerTrailerMagic...)
+	return dst
+}
+
+// parseFooter looks for a footer at the end of a size-byte file and returns
+// the record count, the cut table and the payload end when one is present
+// and internally consistent with header h. ok is false — with no error — for
+// footerless (or unrecognizably damaged) files; the caller then falls back
+// to the pre-footer interpretation.
+func parseFooter(r io.ReaderAt, size int64, h Header) (records uint64, ct *cutTable, payloadEnd int64, ok bool) {
+	if size < HeaderSize+footerTrailerSize+footerFixedSize {
+		return 0, nil, 0, false
+	}
+	var tr [footerTrailerSize]byte
+	if _, err := r.ReadAt(tr[:], size-footerTrailerSize); err != nil {
+		return 0, nil, 0, false
+	}
+	if string(tr[16:]) != footerTrailerMagic || tr[12] != footerVersion {
+		return 0, nil, 0, false
+	}
+	blockLen := int64(binary.LittleEndian.Uint64(tr[0:]))
+	wantCRC := binary.LittleEndian.Uint32(tr[8:])
+	if blockLen < footerFixedSize || blockLen > size-HeaderSize-footerTrailerSize {
+		return 0, nil, 0, false
+	}
+	payloadEnd = size - footerTrailerSize - blockLen
+	block := make([]byte, blockLen)
+	if _, err := r.ReadAt(block, payloadEnd); err != nil {
+		return 0, nil, 0, false
+	}
+	if crc32.Checksum(block, footerCRCTable) != wantCRC {
+		return 0, nil, 0, false
+	}
+	if string(block[:8]) != footerBlockMagic || block[8] != footerVersion {
+		return 0, nil, 0, false
+	}
+	records = binary.LittleEndian.Uint64(block[12:])
+	cuts := int64(binary.LittleEndian.Uint32(block[20:])) // fixed part ends at 24
+	if records > h.Vertices || cuts < 1 || footerFixedSize+cuts*16 != blockLen {
+		return 0, nil, 0, false
+	}
+	t := &cutTable{recs: make([]uint64, cuts), offs: make([]int64, cuts)}
+	for i := int64(0); i < cuts; i++ {
+		t.recs[i] = binary.LittleEndian.Uint64(block[footerFixedSize+i*16:])
+		t.offs[i] = int64(binary.LittleEndian.Uint64(block[footerFixedSize+i*16+8:]))
+	}
+	if err := validateCutTable(t, records, payloadEnd); err != nil {
+		return 0, nil, 0, false
+	}
+	return records, t, payloadEnd, true
+}
+
+// validateCutTable checks the structural invariants every partition plan must
+// satisfy: entry 0 is (0, HeaderSize), entries are strictly increasing in both
+// coordinates (except a single-entry table of an empty payload), and the last
+// entry is exactly (records, payloadEnd). Plans loaded from a footer or a
+// shard manifest pass through here; a plan built by a planning scan satisfies
+// these by construction.
+func validateCutTable(t *cutTable, records uint64, payloadEnd int64) error {
+	n := len(t.recs)
+	if n == 0 || n != len(t.offs) {
+		return fmt.Errorf("cut table has %d record cuts, %d offset cuts", len(t.recs), len(t.offs))
+	}
+	if t.recs[0] != 0 || t.offs[0] != HeaderSize {
+		return fmt.Errorf("cut table starts at (%d, %d), want (0, %d)", t.recs[0], t.offs[0], HeaderSize)
+	}
+	for i := 1; i < n; i++ {
+		if t.recs[i] <= t.recs[i-1] || t.offs[i] <= t.offs[i-1] {
+			return fmt.Errorf("cut table entry %d (%d, %d) does not increase over (%d, %d)",
+				i, t.recs[i], t.offs[i], t.recs[i-1], t.offs[i-1])
+		}
+	}
+	if t.recs[n-1] != records || t.offs[n-1] != payloadEnd {
+		return fmt.Errorf("cut table ends at (%d, %d), want (%d, %d)", t.recs[n-1], t.offs[n-1], records, payloadEnd)
+	}
+	return nil
+}
+
+// NumRecords returns the number of adjacency records actually present in the
+// file: header.Vertices for ordinary files, the footer's record count for
+// vertex-range shard files (whose header keeps the global vertex count).
+func (g *File) NumRecords() uint64 { return g.records }
+
+// PayloadEnd returns the absolute offset one past the last record: the
+// footer start for footered files, the file size otherwise.
+func (g *File) PayloadEnd() int64 { return g.payloadEnd }
+
+// HasFooter reports whether the file carries a valid footer (and therefore
+// opened with a pre-loaded partition plan).
+func (g *File) HasFooter() bool { return g.hasFooter }
+
+// PartitionPlan returns a copy of the cached partition cut table, if any:
+// parallel record counts and absolute byte offsets, as persisted in footers
+// and shard manifests. ok is false when no plan is cached yet.
+func (g *File) PartitionPlan() (recs []uint64, offs []int64, ok bool) {
+	g.plan.mu.Lock()
+	defer g.plan.mu.Unlock()
+	if g.plan.cuts == nil {
+		return nil, nil, false
+	}
+	recs = append([]uint64(nil), g.plan.cuts.recs...)
+	offs = append([]int64(nil), g.plan.cuts.offs...)
+	return recs, offs, true
+}
+
+// InstallPartitionPlan installs an externally persisted partition cut table
+// (a shard manifest's) after validating it against the file's record count
+// and payload end. A plan already cached wins silently — plans for one file
+// are identical by construction. The installed plan serves every Partitions
+// call for the file's lifetime, so a cold open followed by a parallel scan
+// performs zero planning scans.
+func (g *File) InstallPartitionPlan(recs []uint64, offs []int64) error {
+	t := &cutTable{
+		recs: append([]uint64(nil), recs...),
+		offs: append([]int64(nil), offs...),
+	}
+	if err := validateCutTable(t, g.records, g.payloadEnd); err != nil {
+		return fmt.Errorf("%w: %s: invalid partition plan: %v", ErrBadFormat, g.path, err)
+	}
+	g.plan.mu.Lock()
+	defer g.plan.mu.Unlock()
+	if g.plan.cuts != nil {
+		return nil
+	}
+	g.plan.cuts = t
+	g.plan.cutsErr = nil
+	return nil
+}

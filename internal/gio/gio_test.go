@@ -220,6 +220,7 @@ func TestTruncatedRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	data = stripFooter(t, data) // truncate record bytes, not footer bytes
 	trunc := filepath.Join(t.TempDir(), "trunc.adj")
 	if err := os.WriteFile(trunc, data[:len(data)-7], 0o644); err != nil {
 		t.Fatal(err)

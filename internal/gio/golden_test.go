@@ -32,7 +32,16 @@ func TestGoldenFormat(t *testing.T) {
 		"0200000000000000" + // 2 edges
 		"00000000" + "01000000" + "01000000" + // v0: deg 1, nbr 1
 		"01000000" + "02000000" + "00000000" + "02000000" + // v1: deg 2, nbrs 0,2
-		"02000000" + "01000000" + "01000000" // v2: deg 1, nbr 1
+		"02000000" + "01000000" + "01000000" + // v2: deg 1, nbr 1
+		// Footer block (see footer.go): cut table persisted at write time.
+		"4d4953465442310a" + // "MISFTB1\n"
+		"01000000" + // footer version 1 + reserved
+		"0300000000000000" + // 3 records
+		"02000000" + // 2 cut entries
+		"0000000000000000" + "2000000000000000" + // cut (record 0, offset 32)
+		"0300000000000000" + "4800000000000000" + // cut (record 3, offset 72)
+		// Trailer: block length, CRC-32C, version, "MISFTR1\n".
+		"3800000000000000" + "0cb9c8b0" + "01000000" + "4d4953465452310a"
 	wantBytes, err := hex.DecodeString(stripSpaces(want))
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +142,16 @@ func TestGoldenCompressedFormat(t *testing.T) {
 		"0200000000000000" + // 2 edges
 		"000101" + // v0: id 0, deg 1, first nbr 1
 		"01020001" + // v1: id 1, deg 2, nbr 0, gap to 2 = 1
-		"020101" // v2: id 2, deg 1, first nbr 1
+		"020101" + // v2: id 2, deg 1, first nbr 1
+		// Footer block (see footer.go): cut table persisted at write time.
+		"4d4953465442310a" + // "MISFTB1\n"
+		"01000000" + // footer version 1 + reserved
+		"0300000000000000" + // 3 records
+		"02000000" + // 2 cut entries
+		"0000000000000000" + "2000000000000000" + // cut (record 0, offset 32)
+		"0300000000000000" + "2a00000000000000" + // cut (record 3, offset 42)
+		// Trailer: block length, CRC-32C, version, "MISFTR1\n".
+		"3800000000000000" + "e9edb035" + "01000000" + "4d4953465452310a"
 	wantBytes, err := hex.DecodeString(stripSpaces(want))
 	if err != nil {
 		t.Fatal(err)

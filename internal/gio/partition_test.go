@@ -72,8 +72,8 @@ func TestPartitionsTile(t *testing.T) {
 				if recs != uint64(n) {
 					t.Fatalf("partitions cover %d records, want %d", recs, n)
 				}
-				if end := ps[len(ps)-1].EndOffset; end != size {
-					t.Fatalf("partitions end at %d, file size %d", end, size)
+				if end := ps[len(ps)-1].EndOffset; end != f.PayloadEnd() {
+					t.Fatalf("partitions end at %d, payload end %d (file size %d)", end, f.PayloadEnd(), size)
 				}
 			}
 			f.Close()
@@ -205,7 +205,7 @@ func TestPartitionsMalformed(t *testing.T) {
 	g := randomGraph(13, 200, 700)
 	path := tmpPath(t)
 	writePartitionFile(t, path, g, false)
-	data := mustRead(t, path)
+	data := stripFooter(t, mustRead(t, path))
 	trunc := tmpPath(t)
 	mustWrite(t, trunc, data[:len(data)-7])
 

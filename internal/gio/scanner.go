@@ -31,6 +31,16 @@ type File struct {
 	active    *prefetcher // the current scan's block pipeline, if any
 	activeM   *Scanner    // the current mapped scan, if any (see OpenMmap)
 
+	// records is the number of adjacency records actually present: the
+	// footer's count when the file has one (shard files hold fewer records
+	// than header.Vertices), header.Vertices otherwise. It is the scan limit
+	// of every engine. payloadEnd is the offset one past the last record
+	// (footer start, or file size when footerless); hasFooter records which
+	// interpretation applied. All three are fixed at Open.
+	records    uint64
+	payloadEnd int64
+	hasFooter  bool
+
 	// mm is the shared memory mapping of an OpenMmap file (nil otherwise),
 	// shared by every view like the plan cache.
 	mm *mapState
@@ -85,7 +95,18 @@ func Open(path string, blockSize int, stats *Counters) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &File{f: f, path: path, header: h, blockSize: blockSize, stats: stats, plan: &planState{}, dig: &digestState{}}, nil
+	g := &File{f: f, path: path, header: h, blockSize: blockSize, stats: stats, plan: &planState{}, dig: &digestState{}}
+	g.records = h.Vertices
+	if fi, err := f.Stat(); err == nil {
+		g.payloadEnd = fi.Size()
+		if recs, ct, end, ok := parseFooter(f, fi.Size(), h); ok {
+			g.records, g.payloadEnd, g.hasFooter = recs, end, true
+			// The persisted cut table is the partition plan: Partitions
+			// answers without a planning scan for the file's whole lifetime.
+			g.plan.cuts = ct
+		}
+	}
+	return g, nil
 }
 
 // WithCounters returns a view of the file that accounts its I/O into c
@@ -290,7 +311,7 @@ func (g *File) Scan() (*Scanner, error) {
 func (g *File) ScanCtx(ctx context.Context) (*Scanner, error) {
 	g.stopActive()
 	if g.mm != nil {
-		s := g.newMappedScanner(HeaderSize, 0, g.header.Vertices, false)
+		s := g.newMappedScanner(HeaderSize, 0, g.records, false)
 		s.ctx = ctx
 		g.activeM = s
 		return s, nil
@@ -305,7 +326,7 @@ func (g *File) ScanCtx(ctx context.Context) (*Scanner, error) {
 		file:    g,
 		pf:      pf,
 		ctx:     ctx,
-		limit:   g.header.Vertices,
+		limit:   g.records,
 		baseOff: HeaderSize,
 		recs:    make([]Record, 0, batchMaxRecords),
 		arena:   make([]uint32, 0, batchTargetInts),

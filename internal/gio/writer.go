@@ -9,7 +9,10 @@ import (
 
 // Writer produces an adjacency file through buffered sequential writes.
 // Records must be appended in the intended scan order. Close finalizes the
-// header with the actual vertex and edge counts.
+// header with the actual vertex and edge counts and, by default, appends a
+// footer carrying the record count and the partition cut table observed
+// during the write (see footer.go) — so files it produces open with their
+// partition plan pre-loaded and never pay a planning scan.
 type Writer struct {
 	f       *os.File
 	bw      *countingWriter
@@ -19,6 +22,16 @@ type Writer struct {
 	degSum  uint64
 	stats   *Counters
 	err     error
+
+	// Footer bookkeeping: off tracks the absolute offset past the last
+	// record written; cuts accumulates the partition cut table with exactly
+	// the cadence of the planning scan's cutBuilder, so a footer-loaded plan
+	// and a side-scan plan are identical.
+	off        int64
+	cuts       cutTable
+	noFooter   bool
+	vertices   uint64 // header vertex-count override (shard files); 0 = records
+	hasVertSet bool
 }
 
 // NewWriter creates (truncating) an adjacency file at path. flags are format
@@ -36,6 +49,8 @@ func NewWriter(path string, flags uint32, blockSize int, stats *Counters) (*Writ
 		bw:     newCountingWriter(f, blockSize, stats),
 		header: Header{Version: 1, Flags: flags},
 		stats:  stats,
+		off:    HeaderSize,
+		cuts:   cutTable{recs: []uint64{0}, offs: []int64{HeaderSize}},
 	}
 	// Reserve header space; rewritten on Close with final counts.
 	var hdr [HeaderSize]byte
@@ -64,21 +79,70 @@ func (w *Writer) Append(id uint32, neighbors []uint32) error {
 	}
 	w.records++
 	w.degSum += uint64(len(neighbors))
+	w.observeCut(int64(len(w.buf)))
 	return nil
 }
 
-// Close flushes buffered data, rewrites the header with final counts, and
-// closes the file.
+// observeCut folds one written record of n bytes into the footer's cut
+// table, mirroring cutBuilder.observe record for record.
+func (w *Writer) observeCut(n int64) {
+	w.off += n
+	if w.off-w.cuts.offs[len(w.cuts.offs)-1] >= cutGranularity {
+		w.cuts.recs = append(w.cuts.recs, w.records)
+		w.cuts.offs = append(w.cuts.offs, w.off)
+	}
+}
+
+// PayloadBytes returns the encoded size of the records appended so far
+// (header and footer excluded). Splitters use it to roll shard files at a
+// byte budget.
+func (w *Writer) PayloadBytes() int64 { return w.off - HeaderSize }
+
+// Records returns the number of records appended so far.
+func (w *Writer) Records() uint64 { return w.records }
+
+// SetVertexCount overrides the header's vertex count on Close. Shard files
+// use it to keep the global vertex count in the header — so global vertex
+// IDs and degrees still validate on a bare open — while the footer records
+// how many records the shard actually holds.
+func (w *Writer) SetVertexCount(n uint64) {
+	w.vertices = n
+	w.hasVertSet = true
+}
+
+// DisableFooter makes Close skip the footer, producing the pre-footer format
+// byte for byte. Tests use it to exercise the footerless fallback path;
+// production writers have no reason to.
+func (w *Writer) DisableFooter() { w.noFooter = true }
+
+// Close appends the footer, flushes buffered data, rewrites the header with
+// final counts, and closes the file.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		w.f.Close()
 		return w.err
+	}
+	if !w.noFooter {
+		// Seal the cut table (the final boundary closes at the payload end)
+		// and append footer block + trailer through the same buffered writer.
+		if last := len(w.cuts.offs) - 1; w.cuts.offs[last] != w.off {
+			w.cuts.recs = append(w.cuts.recs, w.records)
+			w.cuts.offs = append(w.cuts.offs, w.off)
+		}
+		w.buf = appendFooter(w.buf[:0], w.records, &w.cuts)
+		if _, err := w.bw.Write(w.buf); err != nil {
+			w.f.Close()
+			return fmt.Errorf("gio: write footer: %w", err)
+		}
 	}
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("gio: flush: %w", err)
 	}
 	w.header.Vertices = w.records
+	if w.hasVertSet {
+		w.header.Vertices = w.vertices
+	}
 	w.header.Edges = w.degSum / 2
 	var hdr [HeaderSize]byte
 	w.header.encode(hdr[:])

@@ -11,11 +11,24 @@ import (
 
 // writeTestFile builds a small adjacency file: vertex v is adjacent to v+1.
 func writeTestFile(t testing.TB, n int) string {
+	return writePipeFile(t, n, false)
+}
+
+// writeFooterlessTestFile writes the pre-footer format, for tests of the
+// opportunistic plan capture (which footered files never need).
+func writeFooterlessTestFile(t testing.TB, n int) string {
+	return writePipeFile(t, n, true)
+}
+
+func writePipeFile(t testing.TB, n int, footerless bool) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "pipe.adj")
 	w, err := gio.NewWriter(path, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if footerless {
+		w.DisableFooter()
 	}
 	for v := 0; v < n; v++ {
 		var nbrs []uint32
@@ -306,10 +319,12 @@ func TestDoneOrderAndError(t *testing.T) {
 	}
 }
 
-// TestSchedulerCapturesPlan: the scheduler's first physical scan doubles as
-// the partition-planning scan.
+// TestSchedulerCapturesPlan: on a footerless file (written by a pre-footer
+// tool), the scheduler's first physical scan doubles as the
+// partition-planning scan. Footered files skip capture entirely — their plan
+// loads at Open.
 func TestSchedulerCapturesPlan(t *testing.T) {
-	path := writeTestFile(t, 2000)
+	path := writeFooterlessTestFile(t, 2000)
 	f, _ := open(t, path)
 	if f.HasPartitionPlan() {
 		t.Fatal("fresh file already has a plan")

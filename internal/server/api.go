@@ -151,6 +151,8 @@ type GraphInfo struct {
 	// Journal-backed graphs only: the journal's durability state. Solves
 	// scan the current base generation; compact to fold pending updates.
 	Journal *JournalInfo `json:"journal,omitempty"`
+	// Manifest-backed sharded graphs only: the shard layout.
+	Shards *ShardInfo `json:"shards,omitempty"`
 }
 
 // JournalInfo is the journal-backed subset of GraphInfo.
@@ -161,6 +163,15 @@ type JournalInfo struct {
 	DurableRecords uint64 `json:"durable_records"`
 	SetSize        int    `json:"set_size"`
 	Dirty          bool   `json:"dirty"`
+}
+
+// ShardInfo is the manifest-backed subset of GraphInfo: the shard count,
+// the summed on-disk size of the shard files, and each shard's SHA-256
+// content digest in manifest (scan) order.
+type ShardInfo struct {
+	Count      int      `json:"count"`
+	TotalBytes int64    `json:"total_bytes"`
+	Digests    []string `json:"digests"`
 }
 
 // StatusResponse is the daemon's health and effectiveness snapshot.

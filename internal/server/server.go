@@ -653,6 +653,17 @@ func (s *Server) graphInfo(ctx context.Context, e *mis.RegistryEntry) (*GraphInf
 			Dirty:          st.Dirty,
 		}
 	}
+	if f.Sharded() {
+		digests, err := f.ShardDigests(ctx)
+		if err != nil {
+			return nil, err
+		}
+		gi.Shards = &ShardInfo{
+			Count:      f.NumShards(),
+			TotalBytes: size,
+			Digests:    digests,
+		}
+	}
 	return gi, nil
 }
 

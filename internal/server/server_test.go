@@ -16,6 +16,7 @@ import (
 	"time"
 
 	mis "repro"
+	"repro/internal/shard"
 )
 
 // writeGraph builds a small degree-sorted adjacency file.
@@ -694,5 +695,71 @@ func TestUnknownErrorStaysGeneric(t *testing.T) {
 	}
 	if strings.Contains(ae.Message, "/var/lib") {
 		t.Fatalf("internal error leaked detail: %q", ae.Message)
+	}
+}
+
+// TestShardedGraphInfo: a manifest-backed graph serves like any other, and
+// its GraphInfo carries the shard layout — count, total bytes, per-shard
+// digests.
+func TestShardedGraphInfo(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "g.adj")
+	writeGraph(t, single, pathEdges, 6)
+	shardDir := filepath.Join(dir, "sharded")
+	if _, err := shard.SplitFile(context.Background(), single, shardDir, shard.SplitOptions{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := mis.OpenRegistry(context.Background(), map[string]string{"sh": shardDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Registry: reg, Logf: t.Logf})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		srv.Close()
+		reg.Close()
+	}()
+	d := &testDaemon{srv: srv, http: hs, reg: reg}
+
+	var gi GraphInfo
+	if code, ae := d.get(t, "/v1/graphs/sh", &gi); ae != nil {
+		t.Fatalf("graph info: %d %v", code, ae)
+	}
+	if gi.Shards == nil {
+		t.Fatal("sharded graph info has no shard metadata")
+	}
+	if gi.Shards.Count != 3 || len(gi.Shards.Digests) != 3 {
+		t.Fatalf("shard metadata %+v, want 3 shards with 3 digests", gi.Shards)
+	}
+	if gi.Shards.TotalBytes != gi.SizeBytes {
+		t.Errorf("shard total bytes %d != size %d", gi.Shards.TotalBytes, gi.SizeBytes)
+	}
+	for i, dgst := range gi.Shards.Digests {
+		if len(dgst) != 64 {
+			t.Errorf("shard %d digest %q is not a sha256 hex", i, dgst)
+		}
+	}
+	if gi.Vertices != 6 {
+		t.Errorf("vertices = %d, want 6", gi.Vertices)
+	}
+
+	// Solves work against the sharded entry, and the cache keys on the
+	// combined digest: the second solve is a hit.
+	var first, second SolveResponse
+	if code, ae := d.post(t, "/v1/solve", solveReq("sh"), &first); ae != nil {
+		t.Fatalf("solve: %d %v", code, ae)
+	}
+	if first.Size != 3 {
+		t.Fatalf("path MIS size = %d, want 3", first.Size)
+	}
+	if _, ae := d.post(t, "/v1/solve", solveReq("sh"), &second); ae != nil {
+		t.Fatalf("second solve: %v", ae)
+	}
+	if second.Cache != "hit" {
+		t.Errorf("second solve cache = %q, want hit", second.Cache)
+	}
+	if first.Digest == "" || first.Digest != second.Digest {
+		t.Errorf("digests %q vs %q", first.Digest, second.Digest)
 	}
 }

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/gio"
+)
+
+// Options configures opening a shard set.
+type Options struct {
+	// BlockSize is each shard's buffered-I/O block size (≤ 0 selects
+	// gio.DefaultBlockSize). It is also the block size B of the scan
+	// accounting, exactly as for a single file.
+	BlockSize int
+	// Mmap backs every shard's scans with a read-only memory mapping (see
+	// gio.OpenMmap), falling back per shard where mapping fails.
+	Mmap bool
+}
+
+// Set is an open shard set: the manifest plus one open gio.File per shard.
+// Shard files are opened with nil counters — the Set's scan engine accounts
+// the merged logical scan itself, so per-shard I/O is never double-counted —
+// and with their partition plans loaded from footers (or single-unit
+// fallbacks from the manifest), so no planning scan ever runs.
+//
+// Like gio.File, one Set supports any number of concurrent scans as long as
+// each runs through its own Source (see Source); the shard files' detached
+// partition scanners never touch per-file scan state.
+type Set struct {
+	man       *Manifest
+	path      string // manifest file path
+	dir       string
+	files     []*gio.File
+	blockSize int
+
+	digMu    sync.Mutex
+	combined string
+	perShard []string
+}
+
+// Open loads, validates and opens the shard set described by the manifest at
+// path (the manifest file or its directory). Every shard file must open,
+// agree with the manifest on format flags and global vertex count, match its
+// recorded size, and — when footered — match its recorded record count.
+// Content digests are not verified here (that would read every byte); they
+// are computed lazily by CombinedDigest and checked against the manifest's
+// recorded values then.
+func Open(path string, o Options) (*Set, error) {
+	man, manPath, err := LoadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	blockSize := o.BlockSize
+	if blockSize <= 0 {
+		blockSize = gio.DefaultBlockSize
+	}
+	s := &Set{man: man, path: manPath, dir: filepath.Dir(manPath), blockSize: blockSize}
+	for i, e := range man.Shards {
+		fp := filepath.Join(s.dir, filepath.FromSlash(e.Path))
+		var f *gio.File
+		if o.Mmap {
+			f, err = gio.OpenMmap(fp, blockSize, nil)
+		} else {
+			f, err = gio.Open(fp, blockSize, nil)
+		}
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("shard: open shard %d: %w", i, err)
+		}
+		s.files = append(s.files, f)
+		if err := s.validateShard(i, e, f); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("%w: %s: shard %d (%s): %v", gio.ErrBadFormat, manPath, i, e.Path, err)
+		}
+	}
+	return s, nil
+}
+
+// validateShard cross-checks one opened shard file against its manifest
+// entry.
+func (s *Set) validateShard(i int, e ShardEntry, f *gio.File) error {
+	h := f.Header()
+	if h.Flags != s.man.Flags {
+		return fmt.Errorf("flags %#x differ from manifest flags %#x", h.Flags, s.man.Flags)
+	}
+	if h.Vertices != s.man.Vertices {
+		return fmt.Errorf("header has %d vertices, manifest says %d (shard headers carry the global count)", h.Vertices, s.man.Vertices)
+	}
+	size, err := f.SizeBytes()
+	if err != nil {
+		return err
+	}
+	if size != e.Bytes {
+		return fmt.Errorf("file is %d bytes, manifest recorded %d", size, e.Bytes)
+	}
+	if f.HasFooter() && f.NumRecords() != e.Records {
+		return fmt.Errorf("footer records %d, manifest says %d", f.NumRecords(), e.Records)
+	}
+	if ct := e.Cuts; ct != nil {
+		if len(ct.Records) != len(ct.Offsets) || len(ct.Records) == 0 {
+			return fmt.Errorf("malformed cut table (%d record cuts, %d offset cuts)", len(ct.Records), len(ct.Offsets))
+		}
+		if last := len(ct.Records) - 1; ct.Records[last] != e.Records {
+			return fmt.Errorf("cut table covers %d records, manifest says %d", ct.Records[last], e.Records)
+		}
+	}
+	return nil
+}
+
+// NumVertices returns the merged graph's vertex count.
+func (s *Set) NumVertices() int { return int(s.man.Vertices) }
+
+// NumEdges returns the merged graph's undirected edge count.
+func (s *Set) NumEdges() uint64 { return s.man.Edges }
+
+// Flags returns the format flags every shard carries.
+func (s *Set) Flags() uint32 { return s.man.Flags }
+
+// DegreeSorted reports whether the merged scan order is ascending-degree.
+func (s *Set) DegreeSorted() bool { return s.man.Flags&gio.FlagDegreeSorted != 0 }
+
+// NumShards returns the shard count.
+func (s *Set) NumShards() int { return len(s.man.Shards) }
+
+// Manifest returns the loaded manifest. Treat it as read-only.
+func (s *Set) Manifest() *Manifest { return s.man }
+
+// Path returns the manifest file's path.
+func (s *Set) Path() string { return s.path }
+
+// Dir returns the shard directory.
+func (s *Set) Dir() string { return s.dir }
+
+// BlockSize returns the per-shard buffered-I/O block size.
+func (s *Set) BlockSize() int { return s.blockSize }
+
+// TotalBytes returns the summed on-disk size of the shard files.
+func (s *Set) TotalBytes() int64 { return s.man.TotalBytes() }
+
+// MmapActive reports whether every shard's scans run off a live memory
+// mapping.
+func (s *Set) MmapActive() bool {
+	if len(s.files) == 0 {
+		return false
+	}
+	for _, f := range s.files {
+		if !f.MmapActive() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close closes every shard file.
+func (s *Set) Close() error { return s.closeFiles() }
+
+func (s *Set) closeFiles() error {
+	var first error
+	for _, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardDigests returns each shard's SHA-256 content digest, computing and
+// caching them on first use and verifying each against the digest the
+// manifest recorded at write time.
+func (s *Set) ShardDigests(ctx context.Context) ([]string, error) {
+	s.digMu.Lock()
+	defer s.digMu.Unlock()
+	if err := s.digestsLocked(ctx); err != nil {
+		return nil, err
+	}
+	return append([]string(nil), s.perShard...), nil
+}
+
+// CombinedDigest returns the digest identifying the merged graph's content:
+// SHA-256 over the ordered per-shard content digests. It feeds the same
+// result cache single-file ContentDigests key — two opens of the same shard
+// set yield the same digest, and any shard's bytes changing changes it.
+func (s *Set) CombinedDigest(ctx context.Context) (string, error) {
+	s.digMu.Lock()
+	defer s.digMu.Unlock()
+	if err := s.digestsLocked(ctx); err != nil {
+		return "", err
+	}
+	return s.combined, nil
+}
+
+func (s *Set) digestsLocked(ctx context.Context) error {
+	if s.combined != "" {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	per := make([]string, len(s.files))
+	h := sha256.New()
+	fmt.Fprintf(h, "shardset:%d\n", len(s.files))
+	for i, f := range s.files {
+		d, err := f.ContentDigest(ctx)
+		if err != nil {
+			return err
+		}
+		if want := s.man.Shards[i].Digest; want != "" && want != d {
+			return fmt.Errorf("%w: %s: shard %d (%s): content digest %s differs from manifest's %s",
+				gio.ErrBadFormat, s.path, i, s.man.Shards[i].Path, d, want)
+		}
+		per[i] = d
+		fmt.Fprintf(h, "%s\n", d)
+	}
+	s.perShard = per
+	s.combined = hex.EncodeToString(h.Sum(nil))
+	return nil
+}

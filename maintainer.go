@@ -26,6 +26,9 @@ func NewMaintainer(f *File, initial *Result) (*Maintainer, error) {
 	if initial == nil {
 		return nil, fmt.Errorf("mis: maintainer: nil initial set")
 	}
+	if f.Sharded() {
+		return nil, shardedErr("maintainer")
+	}
 	inner, err := dynamic.New(f.inner, initial.InSet)
 	if err != nil {
 		return nil, err

@@ -87,16 +87,23 @@ func openEntry(ctx context.Context, name, path string, cfg registryConfig) (*Reg
 	if err != nil {
 		return nil, err
 	}
+	oo := []OpenOption{WithWorkers(cfg.workers)}
+	if cfg.mmap {
+		oo = append(oo, WithMmap())
+	}
+	if IsShardManifest(path) {
+		f, err := OpenSharded(path, oo...)
+		if err != nil {
+			return nil, err
+		}
+		return &RegistryEntry{name: name, path: path, f: f}, nil
+	}
 	if fi.IsDir() {
 		j, err := OpenJournal(ctx, path, JournalWorkers(cfg.workers))
 		if err != nil {
 			return nil, err
 		}
 		return &RegistryEntry{name: name, path: path, j: j}, nil
-	}
-	oo := []OpenOption{WithWorkers(cfg.workers)}
-	if cfg.mmap {
-		oo = append(oo, WithMmap())
 	}
 	f, err := Open(path, oo...)
 	if err != nil {
@@ -107,8 +114,9 @@ func openEntry(ctx context.Context, name, path string, cfg registryConfig) (*Reg
 
 // DiscoverGraphs scans dir non-recursively and returns a graphs map for
 // OpenRegistry: every *.adj file (named by its base name without the
-// extension) and every subdirectory holding a journal MANIFEST (named by
-// the directory name).
+// extension), every subdirectory holding a journal MANIFEST, and every
+// subdirectory holding a shard MANIFEST.shards (both named by the directory
+// name).
 func DiscoverGraphs(dir string) (map[string]string, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -119,6 +127,8 @@ func DiscoverGraphs(dir string) (map[string]string, error) {
 		p := filepath.Join(dir, de.Name())
 		if de.IsDir() {
 			if _, err := os.Stat(filepath.Join(p, "MANIFEST")); err == nil {
+				graphs[de.Name()] = p
+			} else if IsShardManifest(p) {
 				graphs[de.Name()] = p
 			}
 			continue
